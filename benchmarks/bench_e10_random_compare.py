@@ -1,0 +1,95 @@
+"""E10 — the headline comparison: degree O(log log N) vs O(log N).
+
+FKP-style replication needs per-cluster redundancy r ~ log(n) to survive
+constant p (its survival is exactly (1 - p^r)^{n^2}); A^2's supernode size
+h depends only on the *defect rate and reliability target*, not on n — so
+its degree curve is flat where replication's grows logarithmically.  Both
+are sized here for the same target failure probability, then measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.montecarlo import MonteCarlo
+from repro.baselines.replication import ReplicatedTorus
+from repro.core.an import ATorus, an_params_for_reliability
+from repro.core.bn import TrialOutcome
+from repro.core.params import BnParams
+from repro.errors import ReconstructionError
+from repro.util.tables import Table
+
+P = 0.25
+TARGET = 1e-3  # whole-system failure target used to size both designs
+
+
+def test_e10_degree_scaling_table(benchmark, report):
+    """Sizing-only sweep across n: replication degree grows, A's h is flat."""
+
+    def compute():
+        rows = []
+        for t, k_sub in [(2, 2), (4, 2), (8, 2)]:
+            base = BnParams(d=2, b=3, s=1, t=t)
+            ap = an_params_for_reliability(base, k_sub=k_sub, p=P, q=0.0)
+            n = ap.n
+            rt = ReplicatedTorus(n, 2)
+            r_needed = rt.replication_for_target(P, TARGET)
+            repl_degree = (r_needed - 1) + 4 * r_needed
+            rows.append([n, ap.h, ap.degree, r_needed, repl_degree])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["n", "A: supernode h", "A degree", "replication r", "replication degree"],
+        title=f"E10: degree sizing at p = {P}, target failure {TARGET}",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e10_degree_scaling", table)
+
+    # A's supernode size (degree driver) is flat in n...
+    hs = [r[1] for r in rows]
+    assert max(hs) - min(hs) <= 2
+    # ...replication's r strictly grows with n (log N behaviour).
+    rs = [r[3] for r in rows]
+    assert rs[0] < rs[-1]
+
+
+def test_e10_measured_survival(benchmark, report):
+    """Both designs, sized for the same target, measured at p = P."""
+    TRIALS = 8
+
+    def compute():
+        base = BnParams(d=2, b=3, s=1, t=2)
+        ap = an_params_for_reliability(base, k_sub=2, p=P, q=0.0)
+        at = ATorus(ap)
+
+        def a_trial(seed: int) -> TrialOutcome:
+            try:
+                at.recover(at.sample_faults(P, 0.0, seed))
+                return TrialOutcome(success=True, category="ok")
+            except ReconstructionError as exc:
+                return TrialOutcome(success=False, category=exc.category)
+
+        a_res = MonteCarlo(a_trial).run(TRIALS)
+
+        rt = ReplicatedTorus(ap.n, 2, replication=ReplicatedTorus(ap.n, 2).replication_for_target(P, TARGET))
+
+        def r_trial(seed: int) -> TrialOutcome:
+            ok = rt.survives(P, seed)
+            return TrialOutcome(success=ok, category="ok" if ok else "supernode")
+
+        r_res = MonteCarlo(r_trial).run(TRIALS)
+        return ap, at, a_res, rt, r_res
+
+    ap, at, a_res, rt, r_res = run_once(benchmark, compute)
+    table = Table(
+        ["design", "n", "nodes", "degree", "survival"],
+        title=f"E10b: measured survival at p = {P} ({8} trials)",
+    )
+    table.add_row(["A^2 (Thm 1)", ap.n, ap.num_nodes, ap.degree, f"{a_res.success_rate:.2f}"])
+    table.add_row(["replication", ap.n, rt.num_nodes, rt.degree, f"{r_res.success_rate:.2f}"])
+    report("e10_measured", table)
+    assert a_res.success_rate >= 0.85
+    assert r_res.success_rate >= 0.85

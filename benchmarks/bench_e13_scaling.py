@@ -1,0 +1,76 @@
+"""E13 — performance scaling of construction and recovery.
+
+Timings per pipeline stage across instance sizes (pytest-benchmark rows),
+plus a one-shot table of end-to-end recovery wall time vs N demonstrating
+near-linear behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core.bn import BTorus
+from repro.core.bn_graph import BnGraph
+from repro.core.params import BnParams
+from repro.util.rng import spawn_rng
+from repro.util.tables import Table
+
+SIZES = [
+    BnParams(d=2, b=3, s=1, t=2),  # 1 944 nodes
+    BnParams(d=2, b=4, s=1, t=2),  # 12 288
+    BnParams(d=2, b=4, s=1, t=4),  # 49 152
+    BnParams(d=2, b=5, s=2, t=2),  # 37 500
+]
+
+
+def test_e13_end_to_end_scaling(benchmark, report):
+    def compute():
+        rows = []
+        for params in SIZES:
+            bt = BTorus(params)
+            faults = bt.sample_faults(params.paper_fault_probability, spawn_rng(0, params.n))
+            t0 = time.perf_counter()
+            ok = bt.survives(faults)
+            dt = time.perf_counter() - t0
+            rows.append(
+                [params.num_nodes, params.n, f"{1e3 * dt:.0f}",
+                 f"{1e6 * dt / params.num_nodes:.1f}", "yes" if ok else "no"]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["host nodes", "n", "recover ms", "us/node", "recovered"],
+        title="E13: end-to-end recovery wall time vs instance size",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e13_scaling", table)
+    # near-linear: per-node cost does not blow up with size
+    per_node = [float(r[3]) for r in rows]
+    assert max(per_node) <= 25 * min(per_node)
+
+
+@pytest.mark.parametrize("i", [0, 1], ids=["n36", "n96"])
+def test_e13_healthiness_speed(benchmark, i):
+    params = SIZES[i]
+    bt = BTorus(params)
+    faults = bt.sample_faults(params.paper_fault_probability, spawn_rng(1))
+    benchmark(lambda: bt.check_health(faults))
+
+
+@pytest.mark.parametrize("i", [0, 1], ids=["n36", "n96"])
+def test_e13_extraction_speed(benchmark, i):
+    from repro.core.placement import place_bands
+    from repro.core.reconstruction import extract_torus
+
+    params = SIZES[i]
+    bn = BnGraph(params)
+    faults = np.zeros(params.shape, dtype=bool)
+    faults[0, 0] = True
+    bands = place_bands(params, faults)
+    benchmark(lambda: extract_torus(bn, bands, faults))

@@ -1,0 +1,72 @@
+"""E14 — end-to-end usability: routing on a recovered torus.
+
+The dilation-1 embedding means the surviving machine routes *identically*
+to a pristine torus: latency distributions must match exactly pattern by
+pattern.  Also times the simulator itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.bn import BTorus
+from repro.core.params import BnParams
+from repro.errors import ReconstructionError
+from repro.sim import latency_stats, make_traffic, simulate
+from repro.util.rng import spawn_rng
+from repro.util.tables import Table
+
+PARAMS = BnParams(d=2, b=3, s=1, t=2)
+PATTERNS = ("uniform", "transpose", "neighbor", "hotspot")
+MESSAGES = 250
+
+
+def _recovered_shape():
+    bt = BTorus(PARAMS)
+    for seed in range(25):
+        faults = bt.sample_faults(
+            PARAMS.paper_fault_probability, spawn_rng(seed, "e14")
+        )
+        try:
+            rec = bt.recover(faults)
+            return rec.guest_shape(), int(faults.sum())
+        except ReconstructionError:
+            continue
+    raise RuntimeError("no recoverable draw")
+
+
+def test_e14_recovered_equals_pristine(benchmark, report):
+    def compute():
+        shape, nfaults = _recovered_shape()
+        rows = []
+        for pattern in PATTERNS:
+            traffic = make_traffic(shape, pattern, MESSAGES, spawn_rng(3, pattern))
+            stats = latency_stats(simulate(shape, traffic))
+            rows.append(
+                [pattern, stats["total"], f"{stats['mean']:.2f}",
+                 f"{stats['p99']:.0f}", f"{stats['throughput']:.2f}"]
+            )
+        return nfaults, rows
+
+    nfaults, rows = run_once(benchmark, compute)
+    table = Table(
+        ["pattern", "messages", "mean latency", "p99", "throughput"],
+        title=f"E14: traffic on a torus recovered from {nfaults} faults "
+        "(identical to pristine by dilation-1)",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e14_routing", table)
+
+    # Shape claims: neighbour traffic is near-1-cycle; transpose/hotspot pay
+    # more than uniform (classic ordering).
+    stats = {r[0]: float(r[2]) for r in rows}
+    assert stats["neighbor"] < stats["uniform"]
+    assert stats["hotspot"] >= stats["uniform"] * 0.9
+
+
+def test_e14_simulator_speed(benchmark):
+    shape = (PARAMS.n, PARAMS.n)
+    traffic = make_traffic(shape, "uniform", 200, spawn_rng(5))
+    benchmark(lambda: simulate(shape, traffic))

@@ -1,0 +1,46 @@
+"""E15 — Section 6's open problems, regenerated as data.
+
+Question 1: constant-degree, O(N) nodes, constant-probability faults?
+The paper's own constant-degree construction cannot (its tolerable rate
+falls like b^{-3d}); the d = 1 case is settled by Alon–Chung.  The tables
+quantify both halves of that discussion.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.analysis.openproblems import bn_constant_p_decay, one_dimensional_answer
+from repro.util.tables import Table
+
+P_CONST = 0.002  # constant rate: ~b^-3d for the smallest case, 8x it for the largest
+TRIALS = 10
+
+
+def test_e15_constant_p_kills_constant_degree(benchmark, report):
+    rows = run_once(benchmark, lambda: bn_constant_p_decay(P_CONST, trials=TRIALS))
+    table = Table(
+        ["construction", "nodes", "degree", f"survival @ p={P_CONST}"],
+        title="E15: open problem 1 — constant-degree B at constant p decays with size",
+    )
+    for r in rows:
+        table.add_row([r.label, r.size, r.degree, f"{r.survival:.2f}"])
+    report("e15_constant_p", table)
+    assert rows[-1].survival <= rows[0].survival
+    assert rows[-1].survival <= 0.5  # the open problem is real
+
+
+def test_e15_d1_settled_by_alon_chung(benchmark, report):
+    rows = run_once(
+        benchmark, lambda: one_dimensional_answer(0.05, trials=TRIALS, sizes=(40, 80, 160))
+    )
+    table = Table(
+        ["construction", "nodes", "degree", "survival @ p=0.05"],
+        title="E15b: d = 1 is settled (Alon–Chung): constant degree, linear size, constant p",
+    )
+    for r in rows:
+        table.add_row([r.label, r.size, r.degree, f"{r.survival:.2f}"])
+    report("e15_d1_answer", table)
+    for r in rows:
+        assert r.survival >= 0.75
+        assert r.degree <= 8

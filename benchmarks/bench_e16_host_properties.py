@@ -1,0 +1,91 @@
+"""E16 — structural properties of the hosts (beyond the paper's degree).
+
+The jump-edge hierarchies are not free decorations: they also shorten
+paths.  Table: sampled diameter and mean distance of B/D hosts vs the
+plain torus on the same node set, plus mesh-restriction verification (the
+title's "and hence the mesh") as a one-shot check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.graphprops import mean_distance, sampled_diameter
+from repro.core.bn import BTorus
+from repro.core.bn_graph import BnGraph
+from repro.core.dn import DTorus
+from repro.core.mesh import verify_recovered_mesh
+from repro.core.params import BnParams, DnParams
+from repro.topology.torus import torus_graph
+from repro.util.rng import spawn_rng
+from repro.util.tables import Table
+
+BN = BnParams(d=2, b=3, s=1, t=2)
+DN = DnParams(d=2, n=70, b=2)
+SAMPLES = 5
+
+
+def test_e16_distance_table(benchmark, report):
+    def compute():
+        rows = []
+        bn = BnGraph(BN)
+        host = bn.graph()
+        plain = torus_graph(BN.shape)
+        rows.append(
+            ["B^2 host", host.num_nodes,
+             sampled_diameter(host, SAMPLES, spawn_rng(0)),
+             f"{mean_distance(host, SAMPLES, spawn_rng(0)):.2f}"]
+        )
+        rows.append(
+            ["plain torus (same shape)", plain.num_nodes,
+             sampled_diameter(plain, SAMPLES, spawn_rng(0)),
+             f"{mean_distance(plain, SAMPLES, spawn_rng(0)):.2f}"]
+        )
+        dt = DTorus(DN)
+        dg = dt.graph()
+        dplain = torus_graph(DN.shape)
+        rows.append(
+            ["D^2 host", dg.num_nodes,
+             sampled_diameter(dg, SAMPLES, spawn_rng(1)),
+             f"{mean_distance(dg, SAMPLES, spawn_rng(1)):.2f}"]
+        )
+        rows.append(
+            ["plain torus (same shape)", dplain.num_nodes,
+             sampled_diameter(dplain, SAMPLES, spawn_rng(1)),
+             f"{mean_distance(dplain, SAMPLES, spawn_rng(1)):.2f}"]
+        )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["graph", "nodes", "diameter (sampled)", "mean distance"],
+        title="E16: jump edges shorten paths (host vs plain torus)",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e16_host_properties", table)
+    assert rows[0][2] < rows[1][2]  # B host beats its plain torus
+    assert rows[2][2] <= rows[3][2]  # D host no worse
+
+
+def test_e16_mesh_restriction(benchmark, report):
+    def compute():
+        bt = BTorus(BN)
+        faults = np.zeros(BN.shape, dtype=bool)
+        faults[20, 20] = True
+        rec = bt.recover(faults, strategy="paper")
+        full = verify_recovered_mesh(rec, faults, bt.bn)
+        sub = verify_recovered_mesh(rec, faults, bt.bn, corner=(30, 30), sizes=(10, 10))
+        return full, sub
+
+    full, sub = run_once(benchmark, compute)
+    table = Table(
+        ["restriction", "nodes", "edges checked"],
+        title="E16b: 'and hence the mesh' — verified mesh restrictions",
+    )
+    table.add_row(["full n x n mesh", full["nodes"], full["edges_checked"]])
+    table.add_row(["10 x 10 submesh (wrapping)", sub["nodes"], sub["edges_checked"]])
+    report("e16_mesh", table)
+    assert full["nodes"] == BN.n ** 2
+    assert sub["nodes"] == 100

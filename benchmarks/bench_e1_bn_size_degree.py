@@ -1,0 +1,64 @@
+"""E1 — Theorem 2 claims (1) and (2): node count and degree of B^d_n.
+
+Paper: |B^d_n| <= (1+eps) n^d and degree exactly 6d-2.  We verify both
+*exactly* (not asymptotically) across dimensions and parameter choices,
+and time the construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.core.bn_graph import BnGraph
+from repro.core.params import BnParams
+from repro.util.tables import Table
+
+CASES = [
+    BnParams(d=2, b=3, s=1, t=2),
+    BnParams(d=2, b=4, s=1, t=2),
+    BnParams(d=2, b=5, s=1, t=2),
+    BnParams(d=2, b=5, s=2, t=2),
+    BnParams(d=2, b=7, s=3, t=2),
+    BnParams(d=3, b=3, s=1, t=2),
+]
+
+
+def test_e1_size_and_degree_table(benchmark, report):
+    def compute():
+        rows = []
+        for p in CASES:
+            g = BnGraph(p).graph()
+            degs = g.degrees()
+            rows.append(
+                [
+                    f"d={p.d} b={p.b} s={p.s} t={p.t}",
+                    p.n,
+                    g.num_nodes,
+                    f"{1 + p.eps_redundancy:.3f}",
+                    f"{g.num_nodes / p.n ** p.d:.3f}",
+                    6 * p.d - 2,
+                    int(degs.min()),
+                    int(degs.max()),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["params", "n", "nodes", "claimed (1+eps')", "measured ratio", "claimed deg", "min deg", "max deg"],
+        title="E1: Theorem 2(1,2) — node count and degree (exact)",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e1_bn_size_degree", table)
+
+    for r, p in zip(rows, CASES):
+        # count claim, exactly: |B| = (1 + s/(b-s)) n^d = m n^{d-1}
+        assert r[2] * (p.b - p.s) == p.b * p.n ** p.d
+        assert r[5] == r[6] == r[7]  # degree exactly 6d-2, uniform
+
+
+@pytest.mark.parametrize("p", [CASES[0], CASES[1]], ids=["b3", "b4"])
+def test_e1_construction_speed(benchmark, p):
+    benchmark(lambda: BnGraph(p).edges())

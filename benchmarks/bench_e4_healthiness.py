@@ -1,0 +1,67 @@
+"""E4 — Lemma 4: healthiness rates, per-condition attribution, and the
+paper's own union bound as a prediction.
+
+Measured columns: fraction of trials where each condition holds, the
+strict healthiness (Lemma 4 statement) and the sufficient variant (what
+Lemma 5 consumes), plus verified recovery.  Predicted column: our
+executable version of the paper's union bound (upper bound on failure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.chernoff import predict_healthiness
+from repro.core.bn import BTorus
+from repro.core.params import BnParams
+from repro.util.tables import Table
+
+PARAMS = BnParams(d=2, b=4, s=1, t=2)
+TRIALS = 20
+
+
+def test_e4_healthiness_attribution(benchmark, report):
+    p0 = PARAMS.paper_fault_probability
+    ps = [p0 / 4, p0, 8 * p0, 32 * p0]
+    bt = BTorus(PARAMS)
+
+    def compute():
+        rows = []
+        for p in ps:
+            c1 = c2 = c3 = healthy = sufficient = ok = 0
+            for seed in range(TRIALS):
+                out = bt.trial(p, seed, check_health=True)
+                h = out.health
+                c1 += h.cond1_ok
+                c2 += h.cond2_ok
+                c3 += h.cond3_ok
+                healthy += h.healthy
+                sufficient += h.sufficient
+                ok += out.success
+            pred = predict_healthiness(PARAMS, p)
+            rows.append(
+                [f"{p:.1e}", c1 / TRIALS, c2 / TRIALS, c3 / TRIALS,
+                 healthy / TRIALS, sufficient / TRIALS, ok / TRIALS,
+                 f"<={pred.total_bound:.2g}"]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["p", "cond1", "cond2", "cond3", "healthy", "sufficient", "recovered",
+         "predicted unhealthy"],
+        title=f"E4: Lemma 4 healthiness attribution (B^2_{PARAMS.n}, {TRIALS} trials)",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e4_healthiness", table)
+
+    for r in rows:
+        # Lemma 5's implication, empirically: recovery rate >= sufficient rate.
+        assert float(r[6]) >= float(r[5]) - 1e-9
+        # union bound actually bounds measured unhealthiness (with MC slack)
+        bound = float(r[7].lstrip("<="))
+        assert (1.0 - float(r[4])) <= min(1.0, bound + 0.25)
+    # condition 2 (brick fault count, s=1) is the first to break as p grows
+    assert float(rows[-1][2]) <= float(rows[-1][1])

@@ -1,0 +1,69 @@
+"""E6 — Theorem 1 with edge faults: the q < (1-p-1/c)^2/64 regime.
+
+Half-edge machinery end to end: good nodes must discount half-edge-heavy
+nodes, the greedy must dodge faulty edges, and the verified embedding must
+avoid them.  Also checks the feasibility boundary: q outside inequality
+(1) is rejected.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.analysis.montecarlo import MonteCarlo
+from repro.core.an import ATorus, an_params_for_reliability
+from repro.core.bn import TrialOutcome
+from repro.core.params import BnParams
+from repro.errors import ReconstructionError
+from repro.util.tables import Table
+
+BASE = BnParams(d=2, b=3, s=1, t=2)
+TRIALS = 4
+P = 0.15
+
+
+def test_e6_edge_fault_sweep(benchmark, report):
+    qs = [0.0, 5e-4, 2e-3]
+
+    def compute():
+        rows = []
+        for q in qs:
+            params = an_params_for_reliability(BASE, k_sub=2, p=P, q=q)
+            at = ATorus(params)
+
+            def trial(seed: int, q=q, at=at) -> TrialOutcome:
+                try:
+                    at.recover(at.sample_faults(P, q, seed))
+                    return TrialOutcome(success=True, category="ok")
+                except ReconstructionError as exc:
+                    return TrialOutcome(success=False, category=exc.category)
+
+            res = MonteCarlo(trial).run(TRIALS)
+            rows.append(
+                [q, params.h, params.degree, f"{params.c_effective:.1f}",
+                 f"{res.success_rate:.2f}"]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["q", "h", "degree", "c", "survival"],
+        title=f"E6: A^2 with edge faults (p={P}, {TRIALS} trials/point)",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e6_an_edge_faults", table)
+
+    assert all(float(r[4]) >= 0.75 for r in rows)
+    # larger q needs larger supernodes (8 sqrt(q) h threshold effect)
+    assert rows[-1][1] >= rows[0][1]
+
+
+def test_e6_infeasible_q_rejected(benchmark):
+    def check():
+        with pytest.raises(ValueError, match="inequality"):
+            an_params_for_reliability(BASE, k_sub=2, p=0.2, q=0.011)
+        return True
+
+    assert run_once(benchmark, check)

@@ -1,0 +1,141 @@
+"""E8 — Theorem 3 across dimensions: degree 4d, tolerance k = b^{2^d - 1},
+node count O(n^d).
+
+Two tables:
+
+* campaigns at the rated budget for d = 1, 2, 3 (verified where the host is
+  small enough; sparse recovery + spot checks where it is not),
+* the overhead-vs-n scaling: nodes / n^d -> 1 as n grows past b^{2^d},
+  which is the executable meaning of "O(n^d) nodes for k = O(n^{1-2^-d})".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.dn import DTorus
+from repro.core.params import DnParams
+from repro.errors import ReconstructionError
+from repro.faults.adversary import adversarial_node_faults
+from repro.util.rng import spawn_rng
+from repro.util.tables import Table
+
+CASES = [
+    ("d=1", DnParams(d=1, n=30, b=3), "dense"),
+    ("d=2", DnParams(d=2, n=70, b=2), "dense"),
+    ("d=2 b=3", DnParams(d=2, n=1100, b=3), "dense-noverify"),
+    ("d=3", DnParams(d=3, n=260, b=2), "dense-noverify"),
+    ("d=3 n=2000", DnParams(d=3, n=2000, b=2), "sparse"),
+]
+
+
+def _sparse_coords(params: DnParams, k: int, seed: int) -> np.ndarray:
+    rng = spawn_rng(seed, "e8-sparse", params.n)
+    return np.stack(
+        [rng.integers(0, params.shape[a], k) for a in range(params.d)], axis=1
+    )
+
+
+def test_e8_dimension_table(benchmark, report):
+    def compute():
+        rows = []
+        for label, params, mode in CASES:
+            dt = DTorus(params)
+            wins = 0
+            trials = 3
+            for trial in range(trials):
+                try:
+                    if mode == "sparse":
+                        coords = _sparse_coords(params, params.k, trial)
+                        rec = dt.recover(
+                            fault_coords=coords, verify=False, assemble_phi=False
+                        )
+                        # spot-check: guest corners avoid faults
+                        sample = np.stack(
+                            [np.arange(0, params.n, max(1, params.n // 7))] * params.d,
+                            axis=1,
+                        )
+                        hosts = dt.map_guest(rec, sample)
+                        fkeys = set(dt.codec.ravel(coords).tolist())
+                        assert not any(int(h) in fkeys for h in hosts)
+                    else:
+                        f = adversarial_node_faults(
+                            params.shape, params.k, "random", spawn_rng(trial, label)
+                        )
+                        rec = dt.recover(f, verify=(mode == "dense"))
+                        assert not f.ravel()[rec.phi[::499]].any()
+                    wins += 1
+                except ReconstructionError:
+                    pass
+            rows.append(
+                [label, params.n, params.k, params.degree,
+                 f"{params.num_nodes / params.n ** params.d:.2f}",
+                 f"{wins}/{trials}"]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["case", "n", "k tolerated", "degree=4d", "nodes / n^d", "recovered"],
+        title="E8: Theorem 3 across dimensions (random campaigns at rated k)",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e8_dn_dims", table)
+
+    for r, (label, params, _) in zip(rows, CASES):
+        assert r[5] == "3/3", label
+        assert r[3] == 4 * params.d
+
+
+def test_e8_overhead_scaling(benchmark, report):
+    """nodes / n^d -> 1 as n grows (fixed b): the O(n^d) claim."""
+
+    def compute():
+        rows = []
+        for d, b, ns in [(2, 2, (70, 200, 1000)), (3, 2, (260, 1000, 5000))]:
+            for n in ns:
+                p = DnParams(d=d, n=n, b=b)
+                rows.append([d, n, p.k, f"{p.num_nodes / n ** d:.3f}"])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["d", "n", "k", "nodes / n^d"],
+        title="E8b: node overhead -> 1 as n grows past b^{2^d} (O(n^d) claim)",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e8_dn_overhead", table)
+    # overhead strictly decreasing in n for each d
+    assert float(rows[2][3]) < float(rows[1][3]) < float(rows[0][3])
+    assert float(rows[5][3]) < float(rows[4][3]) < float(rows[3][3])
+    assert float(rows[2][3]) < 1.2 and float(rows[5][3]) < 1.5
+
+
+def test_e8_tolerance_scaling_claim(benchmark, report):
+    """k = Theta(n^{1 - 2^{-d}}) when redundancy is linear (d=2: n^{3/4})."""
+
+    def compute():
+        rows = []
+        for n, b in [(70, 2), (1100, 3), (5500, 4)]:
+            params = DnParams(d=2, n=n, b=b)
+            rows.append(
+                [n, b, params.k, f"{params.k / n ** 0.75:.3f}",
+                 f"{params.num_nodes / n ** 2:.2f}"]
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["n", "b", "k", "k / n^{3/4}", "overhead"],
+        title="E8c: worst-case tolerance scaling (d=2): k vs n^{3/4}",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e8_dn_scaling", table)
+    ratios = [float(r[3]) for r in rows]
+    assert max(ratios) / max(min(ratios), 1e-9) < 20  # bounded constant
+    overheads = [float(r[4]) for r in rows]
+    assert all(o < 3.0 for o in overheads)  # linear-redundancy regime

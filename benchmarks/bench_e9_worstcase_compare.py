@@ -1,0 +1,109 @@
+"""E9 — Section 1/5 comparison table for worst-case faults.
+
+Paper's qualitative claims, regenerated:
+
+* BCH (analytic, published bounds): degree 13, n^2 + O(k^3) nodes — wins on
+  overhead for small k, but with linear redundancy tolerates only O(n^{2/3}).
+* Tamaki D^2: degree 8, tolerates O(n^{3/4}) with linear redundancy —
+  *more* faults than BCH once n is large (the crossover claim).
+* Spare-rows (naive): tolerates k with degree O(k) — why constant-degree
+  band hierarchies matter.
+* Alon–Chung product mesh: tolerates O(n) worst-case faults with constant
+  degree but only yields the MESH, needs an expander, and ours is the
+  comparison the paper concedes is stronger asymptotically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.baselines.bch import (
+    bch_mesh_degree,
+    bch_mesh_nodes,
+    bch_tolerated_for_linear_redundancy,
+    tamaki_tolerated_for_linear_redundancy,
+)
+from repro.baselines.sparerows import SpareRowsTorus
+from repro.core.params import DnParams
+from repro.util.tables import Table
+
+
+def test_e9_crossover_table(benchmark, report):
+    def compute():
+        rows = []
+        for n in (100, 1000, 10_000, 100_000):
+            bch_k = bch_tolerated_for_linear_redundancy(n)
+            tam_k = tamaki_tolerated_for_linear_redundancy(n)
+            rows.append([n, bch_k, tam_k, "Tamaki" if tam_k > bch_k else "BCH"])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["n", "BCH k (n^{2/3})", "Tamaki k (n^{3/4})", "more faults tolerated"],
+        title="E9: worst-case faults at linear redundancy — the crossover claim",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e9_crossover", table)
+    assert all(r[3] == "Tamaki" for r in rows)  # paper: ours wins for all n
+    # and the gap widens
+    gaps = [r[2] / max(r[1], 1) for r in rows]
+    assert gaps == sorted(gaps)
+
+
+def test_e9_overhead_and_degree_table(benchmark, report):
+    n = 70
+
+    def compute():
+        rows = []
+        d2 = DnParams(d=2, n=n, b=2)  # k = 8
+        rows.append(
+            ["Tamaki D^2 (measured)", d2.k, d2.num_nodes, 8, "any k, proven + verified"]
+        )
+        rows.append(
+            ["BCH (analytic)", d2.k, int(bch_mesh_nodes(n, d2.k)), bch_mesh_degree(),
+             "any k, published bound"]
+        )
+        sr = SpareRowsTorus(n, sigma=d2.k)
+        rows.append(
+            ["spare-rows (measured)", sr.tolerated, sr.num_nodes, sr.degree,
+             "any k, degree grows O(k)"]
+        )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["construction", "k", "nodes", "degree", "guarantee"],
+        title=f"E9b: worst-case comparators at n = {n}",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e9_overhead_degree", table)
+
+    tamaki, bch, spare = rows
+    assert bch[2] < tamaki[2]  # paper concedes: BCH superior for small k
+    assert tamaki[3] < bch[3]  # but D has the smaller degree
+    assert spare[3] > tamaki[3]  # naive comparator pays degree O(k)
+
+
+def test_e9_spare_rows_degree_growth(benchmark, report):
+    """The naive construction's degree grows linearly with k; D^2 stays 8."""
+
+    def compute():
+        rows = []
+        for k in (4, 8, 16, 32):
+            sr = SpareRowsTorus(70, sigma=k)
+            rows.append([k, sr.degree, 8])
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = Table(
+        ["k", "spare-rows degree", "D^2 degree"],
+        title="E9c: degree vs fault budget",
+    )
+    for r in rows:
+        table.add_row(r)
+    report("e9_degree_growth", table)
+    assert [r[1] for r in rows] == [12, 20, 36, 68]
+    assert all(r[2] == 8 for r in rows)

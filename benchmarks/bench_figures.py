@@ -1,0 +1,26 @@
+"""FIG1 / FIG2: regenerate the paper's two figures (ASCII artifacts)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+
+def test_figure1_bands(benchmark, report):
+    from repro.viz import figure1
+
+    fig = run_once(benchmark, figure1)
+    report("fig1_bands", fig.title + "\n" + fig.text + f"\nmeta: {fig.meta}")
+    # Paper Figure 1's content: several bands, at least one winding.
+    assert fig.meta["bands"] >= 2
+    assert fig.meta["wandering_bands"] >= 1
+    assert "X" in fig.text and "!" not in fig.text  # faults masked
+
+
+def test_figure2_row_trace(benchmark, report):
+    from repro.viz import figure2
+
+    fig = run_once(benchmark, figure2)
+    report("fig2_row_trace", fig.title + "\n" + fig.text + f"\nmeta: {fig.meta}")
+    # Paper Figure 2's content: the row hops over bands with diagonal jumps.
+    assert fig.meta["jumps"] >= 1
+    assert fig.meta["verified_nodes"] == 36 ** 2

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every experiment bench renders its table(s) through the ``report`` fixture:
+the text is written to ``benchmarks/results/<id>.txt`` (so EXPERIMENTS.md
+can cite stable artifacts) and printed (visible with ``pytest -s`` and in
+failure output).  Timing data flows through pytest-benchmark as usual.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report():
+    def _report(name: str, table) -> str:
+        text = table.render() if hasattr(table, "render") else str(table)
+        RESULTS.mkdir(exist_ok=True)
+        (RESULTS / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text, flush=True)
+        return text
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""General-d walkthrough: B^3 and D^3 (the paper's "for each fixed d >= 2").
+
+Everything in the library is dimension-generic: bands become winding
+*surfaces* over a 2-D column space (interpolated multilinearly per tile),
+and D's pigeonhole cascades through three band widths b, b^2, b^4.
+
+Run:  python examples/three_dimensional.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BnParams, BTorus, DnParams, DTorus
+from repro.faults.adversary import adversarial_node_faults
+from repro.util.rng import spawn_rng
+
+
+def bn3_demo() -> None:
+    params = BnParams(d=3, b=3, s=1, t=2)
+    print("=== B^3 (Theorem 2, d = 3) ===")
+    print(params.describe())
+    bt = BTorus(params)
+    faults = np.zeros(params.shape, dtype=bool)
+    faults[20, 20, 20] = True
+    faults[45, 5, 30] = True
+    rec = bt.recover(faults, strategy="paper")  # force the winding-surface path
+    print(f"recovered {params.n}^3 torus; checks: {rec.stats}")
+    wander = int((rec.bands.bottoms != rec.bands.bottoms[:, :1]).any(axis=1).sum())
+    print(f"bands that wind over the 2-D column space: {wander}/{rec.bands.num_bands}")
+    print()
+
+
+def dn3_demo() -> None:
+    params = DnParams(d=3, n=260, b=2)
+    print("=== D^3 (Theorem 3, d = 3) ===")
+    print(params.describe())
+    print(f"band widths per dimension: "
+          f"{[params.width(i) for i in (1, 2, 3)]}, rated k = {params.k}")
+    dt = DTorus(params)
+    faults = adversarial_node_faults(params.shape, params.k, "random", spawn_rng(0, "d3"))
+    rec = dt.recover(faults, verify=False)  # full edge verification is heavy at n=260
+    for axis, um in enumerate(rec.unmasked):
+        gaps = np.unique(np.diff(np.concatenate([um, [um[0] + params.shape[axis]]])))
+        print(f"  dim {axis}: {len(um)} unmasked coords, gap set {gaps.tolist()} "
+              f"(1 = torus edge, {params.width(axis + 1) + 1} = jump edge)")
+    assert not faults.ravel()[rec.phi[::1009]].any()
+    print(f"spot-checked embedding avoids all {params.k} faults")
+
+
+if __name__ == "__main__":
+    bn3_demo()
+    dn3_demo()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the reproduction environment is offline (no `wheel`
+package), so `pip install -e .` must go through setuptools' classic
+develop-mode path. All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

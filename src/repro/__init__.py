@@ -1,0 +1,32 @@
+"""repro — fault-tolerant mesh and torus constructions.
+
+A full reproduction of Hisao Tamaki, *Construction of the Mesh and the Torus
+Tolerating a Large Number of Faults* (SPAA 1994; JCSS 53(3):371-379, 1996).
+
+Public API (see README for a tour):
+
+* :class:`repro.core.BTorus`    — Theorem 2: constant degree ``6d-2``,
+  tolerates node-failure probability ``log^{-3d} n`` w.h.p.
+* :class:`repro.core.ATorus`    — Theorem 1: degree ``O(log log n)``,
+  tolerates constant node/edge failure probabilities w.h.p.
+* :class:`repro.core.DTorus`    — Theorem 3/13: degree ``4d``, tolerates any
+  ``k`` worst-case faults, always.
+* ``repro.baselines``           — Alon–Chung expander construction (Thm 12),
+  FKP-style replication, spare-rows comparators.
+* ``repro.analysis``            — Monte-Carlo engine, parameter sweeps and
+  the paper's own Chernoff/union-bound predictions.
+* ``repro.sim``                 — routing simulator exercising recovered tori.
+"""
+
+from repro._version import __version__
+from repro import errors
+
+__all__ = ["__version__", "errors"]
+
+
+def __getattr__(name):  # lazy subpackage access without import cycles
+    import importlib
+
+    if name in {"core", "topology", "faults", "baselines", "analysis", "sim", "viz", "util"}:
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

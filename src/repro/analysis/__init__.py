@@ -1,0 +1,17 @@
+"""Experiment tooling: Monte-Carlo driver, sweeps and theory predictions."""
+
+from repro.analysis.stats import wilson_interval, binomial_tail
+from repro.analysis.montecarlo import MonteCarlo, MCResult
+from repro.analysis.sweep import sweep_bn_threshold, sweep_dn_adversarial
+from repro.analysis.chernoff import predict_healthiness, HealthinessPrediction
+
+__all__ = [
+    "wilson_interval",
+    "binomial_tail",
+    "MonteCarlo",
+    "MCResult",
+    "sweep_bn_threshold",
+    "sweep_dn_adversarial",
+    "predict_healthiness",
+    "HealthinessPrediction",
+]

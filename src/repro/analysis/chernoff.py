@@ -1,0 +1,82 @@
+"""The paper's own probability bounds, made executable (Lemma 4 et al.).
+
+Lemma 4 proves that a faulty ``B^d_n`` is healthy with probability
+``1 - n^{-Omega(log log n)}`` by union-bounding three event families.  We
+re-derive each bound *with explicit constants for our exact
+parameterisation* so experiment E4 can print predicted-vs-measured columns:
+
+1. **No 2b fault-free consecutive rows in a brick.**  Partition the brick's
+   ``b^2`` rows into ``b/2`` disjoint runs of ``2b`` rows; each run holds
+   ``2 b^{3d-2}`` nodes, so it contains a fault with probability at most
+   ``min(1, 2 b^{3d-2} p)`` and all runs do with the product of that.
+   (The paper then plugs ``p = b^{-3d}``.)
+
+2. **More than eps*b = s faults in a brick.**  Exact binomial tail
+   ``P[Bin(b^{3d-1}, p) > s]``.
+
+3. **No fault-free enclosing frame.**  The ``floor((b-1)/2)`` concentric
+   frames of sizes 3, 5, ... are disjoint; frame of size ``sigma`` has at
+   most ``2 d sigma^{d-1} b^{2d}`` nodes; the events "frame has a fault"
+   are independent across disjoint frames.
+
+Union bounds multiply by the number of bricks / tiles.  All bounds are
+conservative (they may exceed 1 for tiny instances — they are reported
+clamped, with the caveat printed by the bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import binomial_tail
+from repro.core.params import BnParams
+
+__all__ = ["HealthinessPrediction", "predict_healthiness"]
+
+
+@dataclass
+class HealthinessPrediction:
+    """Per-condition failure-probability upper bounds (union-bounded)."""
+
+    p: float
+    cond1_bound: float
+    cond2_bound: float
+    cond3_bound: float
+
+    @property
+    def total_bound(self) -> float:
+        return min(1.0, self.cond1_bound + self.cond2_bound + self.cond3_bound)
+
+    def as_row(self) -> list:
+        return [self.p, self.cond1_bound, self.cond2_bound, self.cond3_bound, self.total_bound]
+
+
+def predict_healthiness(params: BnParams, p: float) -> HealthinessPrediction:
+    """Upper bounds on the probability each healthiness condition fails."""
+    b, d, s = params.b, params.d, params.s
+    num_bricks = params.tile_rows * (params.n // params.tile) ** (d - 1)
+    num_tiles = num_bricks  # same grid
+
+    # Condition 1: all floor(b/2) disjoint 2b-row runs contain a fault.
+    run_nodes = 2 * b ** (3 * d - 2)
+    per_run = min(1.0, run_nodes * p)
+    runs = max(1, b // 2)
+    cond1 = min(1.0, num_bricks * per_run ** runs)
+
+    # Condition 2: binomial tail beyond s faults in a brick.
+    brick_nodes = b ** (3 * d - 1)
+    cond2 = min(1.0, num_bricks * binomial_tail(brick_nodes, p, s))
+
+    # Condition 3: every concentric frame around a tile is hit.
+    prob_all_hit = 1.0
+    sigma = 3
+    count = 0
+    while sigma <= b:
+        frame_nodes = 2 * d * sigma ** (d - 1) * b ** (2 * d)
+        hit = min(1.0, 1.0 - (1.0 - p) ** frame_nodes)
+        prob_all_hit *= hit
+        sigma += 2
+        count += 1
+    cond3 = min(1.0, num_tiles * prob_all_hit) if count else 1.0
+
+    return HealthinessPrediction(p=p, cond1_bound=cond1, cond2_bound=cond2, cond3_bound=cond3)

@@ -1,0 +1,77 @@
+"""Structural graph properties of the host constructions.
+
+The paper notes degree is not the only figure of merit ("the layout area
+is of particular importance ... beyond the scope of this paper").  Two
+properties *are* cheap to measure and relevant to routing on the hosts:
+
+* **diameter / mean distance** — the vertical and diagonal jump edges of
+  ``B^d_n`` and the jump edges of ``D^d_{n,k}`` shorten dim-0 paths (they
+  act as a 2-level hierarchy), so the host is never slower than the plain
+  torus it contains;
+* **bisection-ish edge counts** — edges crossing a dim-0 cut, a proxy for
+  wiring density.
+
+BFS from sampled sources (exact per-source distances, vectorised frontier
+expansion over CSR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.graph import CSRGraph
+
+__all__ = ["bfs_distances", "sampled_diameter", "mean_distance", "dim0_cut_edges"]
+
+
+def bfs_distances(g: CSRGraph, source: int) -> np.ndarray:
+    """Exact hop distances from ``source`` (-1 = unreachable)."""
+    dist = np.full(g.num_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    d = 0
+    while frontier.size:
+        d += 1
+        nxt = np.unique(
+            np.concatenate(
+                [g.indices[g.indptr[v] : g.indptr[v + 1]] for v in frontier]
+            )
+        )
+        nxt = nxt[dist[nxt] == -1]
+        dist[nxt] = d
+        frontier = nxt
+    return dist
+
+
+def sampled_diameter(g: CSRGraph, samples: int, rng: np.random.Generator) -> int:
+    """Max eccentricity over sampled sources (lower bound on the diameter)."""
+    sources = rng.choice(g.num_nodes, size=min(samples, g.num_nodes), replace=False)
+    worst = 0
+    for s in sources:
+        dist = bfs_distances(g, int(s))
+        worst = max(worst, int(dist.max()))
+    return worst
+
+
+def mean_distance(g: CSRGraph, samples: int, rng: np.random.Generator) -> float:
+    """Mean hop distance from sampled sources to all nodes."""
+    sources = rng.choice(g.num_nodes, size=min(samples, g.num_nodes), replace=False)
+    total, count = 0, 0
+    for s in sources:
+        dist = bfs_distances(g, int(s))
+        total += int(dist[dist >= 0].sum())
+        count += int((dist >= 0).sum())
+    return total / count if count else float("nan")
+
+
+def dim0_cut_edges(g: CSRGraph, coord0: np.ndarray, cut: int) -> int:
+    """Edges crossing the hyperplane between dim-0 coordinates cut-1 and cut.
+
+    ``coord0``: dim-0 coordinate per node.  Counts edges whose endpoints
+    fall on different sides of the (cyclic) cut taken as a linear split —
+    a wiring-density proxy, not a true bisection.
+    """
+    e = g.edges()
+    a = coord0[e[:, 0]] < cut
+    b = coord0[e[:, 1]] < cut
+    return int((a != b).sum())

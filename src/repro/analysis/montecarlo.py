@@ -1,0 +1,90 @@
+"""Generic Monte-Carlo driver with failure-category accounting.
+
+Every experiment in EXPERIMENTS.md runs through this driver so that
+results are reproducible (seed-tree RNG), failure modes are attributed
+(category tallies), and confidence intervals are reported uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.stats import wilson_interval
+from repro.core.bn import TrialOutcome
+
+__all__ = ["MCResult", "MonteCarlo"]
+
+
+@dataclass
+class MCResult:
+    """Aggregated outcome of a batch of trials."""
+
+    trials: int
+    successes: int
+    categories: Counter = field(default_factory=Counter)
+    #: healthiness tallies when the trial function reports them
+    healthy: int = 0
+    sufficient: int = 0
+    health_checked: int = 0
+    mean_faults: float = 0.0
+    strategies: Counter = field(default_factory=Counter)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def ci(self) -> tuple[float, float]:
+        return wilson_interval(self.successes, self.trials)
+
+    @property
+    def healthy_rate(self) -> float:
+        return self.healthy / self.health_checked if self.health_checked else float("nan")
+
+    @property
+    def sufficient_rate(self) -> float:
+        return self.sufficient / self.health_checked if self.health_checked else float("nan")
+
+    def summary(self) -> str:
+        lo, hi = self.ci
+        parts = [
+            f"{self.successes}/{self.trials} ok ({self.success_rate:.3f} "
+            f"[{lo:.3f}, {hi:.3f}])"
+        ]
+        fails = {k: v for k, v in self.categories.items() if k != "ok"}
+        if fails:
+            parts.append("failures: " + ", ".join(f"{k}={v}" for k, v in sorted(fails.items())))
+        if self.health_checked:
+            parts.append(f"healthy={self.healthy_rate:.3f} sufficient={self.sufficient_rate:.3f}")
+        return "; ".join(parts)
+
+
+class MonteCarlo:
+    """Run ``trial_fn(seed) -> TrialOutcome`` over a seed range and
+    aggregate.  ``trial_fn`` may return any object with ``success`` and
+    ``category`` attributes (``TrialOutcome`` or a duck-typed equivalent)."""
+
+    def __init__(self, trial_fn: Callable[[int], TrialOutcome]) -> None:
+        self.trial_fn = trial_fn
+
+    def run(self, trials: int, *, seed0: int = 0) -> MCResult:
+        res = MCResult(trials=trials, successes=0)
+        total_faults = 0
+        for i in range(trials):
+            out = self.trial_fn(seed0 + i)
+            res.categories[out.category] += 1
+            if out.success:
+                res.successes += 1
+            health = getattr(out, "health", None)
+            if health is not None:
+                res.health_checked += 1
+                res.healthy += int(health.healthy)
+                res.sufficient += int(health.sufficient)
+            total_faults += getattr(out, "num_faults", 0)
+            used = getattr(out, "strategy_used", "")
+            if used:
+                res.strategies[used] += 1
+        res.mean_faults = total_faults / trials if trials else 0.0
+        return res

@@ -1,0 +1,94 @@
+"""Section 6's open problems, as executable probes.
+
+The paper closes with two questions:
+
+1. Is there a constant-degree, ``O(N)``-node construction of the mesh/torus
+   tolerating **constant-probability** node failures?
+2. Is there one tolerating a **linear number of worst-case** faults?
+
+and notes both are settled *positively for d = 1* by Alon–Chung.  These
+probes regenerate the evidence behind the questions:
+
+* ``bn_constant_p_decay`` — the paper's own constant-degree construction
+  dies at constant ``p`` as ``n`` grows (its tolerable rate shrinks like
+  ``b^{-3d}``): survival at fixed constant ``p`` decays with instance size.
+* ``one_dimensional_answer`` — the d = 1 case really is solved: a
+  constant-degree linear-size expander keeps an ``n``-path at constant
+  fault probability (and fraction).
+
+Neither question is resolved here (they remain open); the probes document
+the gap quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.alon_chung import AlonChungPath
+from repro.core.bn import BTorus
+from repro.core.params import BnParams
+from repro.util.rng import spawn_rng
+
+__all__ = ["bn_constant_p_decay", "one_dimensional_answer", "ProbeRow"]
+
+
+@dataclass
+class ProbeRow:
+    label: str
+    size: int
+    degree: int
+    survival: float
+    trials: int
+
+
+def bn_constant_p_decay(
+    p: float, trials: int = 10, cases: list[BnParams] | None = None
+) -> list[ProbeRow]:
+    """Survival of the constant-degree ``B`` at a *constant* fault rate
+    across growing instances — the quantity the open problem asks to keep
+    bounded away from 0."""
+    cases = cases or [
+        BnParams(d=2, b=3, s=1, t=2),
+        BnParams(d=2, b=4, s=1, t=2),
+        BnParams(d=2, b=4, s=1, t=4),
+    ]
+    rows = []
+    for params in cases:
+        bt = BTorus(params)
+        wins = sum(bt.trial(p, seed).success for seed in range(trials))
+        rows.append(
+            ProbeRow(
+                label=f"B^2 n={params.n}",
+                size=params.num_nodes,
+                degree=params.degree,
+                survival=wins / trials,
+                trials=trials,
+            )
+        )
+    return rows
+
+
+def one_dimensional_answer(
+    p: float, trials: int = 10, sizes: tuple[int, ...] = (40, 80, 160)
+) -> list[ProbeRow]:
+    """Alon–Chung settles d = 1: constant degree, linear size, constant-``p``
+    faults, survival stays high as ``n`` grows."""
+    rows = []
+    for n in sizes:
+        ac = AlonChungPath(n, blowup=3.0)
+        wins = 0
+        for seed in range(trials):
+            faulty = spawn_rng(seed, "open-1d", n).random(ac.num_nodes) < p
+            wins += ac.survives(faulty, rng=spawn_rng(seed, "open-1d-dfs", n))
+        rows.append(
+            ProbeRow(
+                label=f"Alon-Chung path n={n}",
+                size=ac.num_nodes,
+                degree=ac.graph.max_degree(),
+                survival=wins / trials,
+                trials=trials,
+            )
+        )
+    return rows

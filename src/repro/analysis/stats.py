@@ -1,0 +1,38 @@
+"""Statistical helpers for Monte-Carlo reporting."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["wilson_interval", "binomial_tail"]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Robust near 0/1 (unlike the normal approximation), which is exactly
+    where survival probabilities live.
+
+    >>> lo, hi = wilson_interval(10, 10)
+    >>> 0.7 < lo < 1.0 and hi == 1.0
+    True
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    if successes < 0 or successes > trials:
+        raise ValueError("successes out of range")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def binomial_tail(n: int, p: float, k: int) -> float:
+    """Exact upper binomial tail ``P[Bin(n, p) > k]`` via the regularised
+    incomplete beta function (scipy), used by the Lemma 4 predictions."""
+    from scipy.stats import binom
+
+    if k >= n:
+        return 0.0
+    return float(binom.sf(k, n, p))

@@ -1,0 +1,95 @@
+"""Parameter sweeps: the workhorses behind the benchmark tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.montecarlo import MCResult, MonteCarlo
+from repro.core.bn import BTorus, TrialOutcome
+from repro.core.dn import DTorus
+from repro.core.params import BnParams, DnParams
+from repro.errors import ReconstructionError
+from repro.faults.adversary import adversarial_node_faults
+from repro.util.rng import spawn_rng
+
+__all__ = ["sweep_bn_threshold", "sweep_dn_adversarial", "ThresholdPoint"]
+
+
+@dataclass
+class ThresholdPoint:
+    p: float
+    result: MCResult
+
+
+def sweep_bn_threshold(
+    params: BnParams,
+    p_values: Sequence[float],
+    trials: int,
+    *,
+    strategy: str = "auto",
+    check_health: bool = False,
+    seed0: int = 0,
+) -> list[ThresholdPoint]:
+    """Survival rate of ``B^d_n`` across a fault-probability sweep."""
+    bt = BTorus(params)
+    out = []
+    for p in p_values:
+        mc = MonteCarlo(
+            lambda seed, p=p: bt.trial(
+                p, seed, strategy=strategy, check_health=check_health
+            )
+        )
+        out.append(ThresholdPoint(p=float(p), result=mc.run(trials, seed0=seed0)))
+    return out
+
+
+def sweep_dn_adversarial(
+    params: DnParams,
+    patterns: Sequence[str],
+    trials: int,
+    *,
+    k: int | None = None,
+    seed0: int = 0,
+) -> dict[str, MCResult]:
+    """Adversarial campaign against ``D^d_{n,k}``: for each pattern, inject
+    exactly ``k`` faults and count verified recoveries."""
+    dt = DTorus(params)
+    k = params.k if k is None else int(k)
+    results: dict[str, MCResult] = {}
+    for pattern in patterns:
+
+        def trial(seed: int, pattern=pattern) -> TrialOutcome:
+            rng = spawn_rng(seed, "dn-sweep", pattern, params.n, params.b)
+            faults = adversarial_node_faults(params.shape, k, pattern, rng)
+            try:
+                dt.recover(faults)
+                return TrialOutcome(success=True, category="ok", num_faults=k)
+            except ReconstructionError as exc:
+                return TrialOutcome(success=False, category=exc.category, num_faults=k)
+
+        results[pattern] = MonteCarlo(trial).run(trials, seed0=seed0)
+    return results
+
+
+def estimate_threshold(points: list[ThresholdPoint], level: float = 0.5) -> float:
+    """Interpolated fault probability where survival crosses ``level``."""
+    ps = np.array([pt.p for pt in points])
+    rates = np.array([pt.result.success_rate for pt in points])
+    order = np.argsort(ps)
+    ps, rates = ps[order], rates[order]
+    above = rates >= level
+    if above.all():
+        return float(ps[-1])
+    if not above.any():
+        return float(ps[0])
+    i = int(np.flatnonzero(~above)[0])
+    if i == 0:
+        return float(ps[0])
+    x0, x1 = ps[i - 1], ps[i]
+    y0, y1 = rates[i - 1], rates[i]
+    if y0 == y1:
+        return float(x0)
+    return float(x0 + (level - y0) * (x1 - x0) / (y1 - y0))

@@ -1,0 +1,33 @@
+"""Baseline constructions the paper compares against.
+
+* :mod:`repro.baselines.expander`   — explicit constant-degree expanders
+  (Gabber–Galil) + spectral verification.
+* :mod:`repro.baselines.alon_chung` — Theorem 12: linear-size fault-tolerant
+  path networks, and the straightforward ``F_n x (L_n)^{d-1}`` mesh
+  construction built from them (Section 5).
+* :mod:`repro.baselines.replication` — FKP-style ``O(log N)``-degree cluster
+  replication tolerating constant-probability faults (Introduction).
+* :mod:`repro.baselines.sparerows`  — the naive spare-rows comparator whose
+  degree grows with the fault budget (motivates D's band hierarchy).
+* :mod:`repro.baselines.bch`        — Bruck–Cypher–Ho published bounds
+  (analytic comparator for E9).
+"""
+
+from repro.baselines.expander import gabber_galil_expander, random_regular_expander, spectral_expansion
+from repro.baselines.alon_chung import AlonChungPath, AlonChungMesh
+from repro.baselines.replication import ReplicatedTorus
+from repro.baselines.sparerows import SpareRowsTorus
+from repro.baselines.bch import bch_mesh_nodes, bch_mesh_degree, bch_tolerated_for_linear_redundancy
+
+__all__ = [
+    "gabber_galil_expander",
+    "random_regular_expander",
+    "spectral_expansion",
+    "AlonChungPath",
+    "AlonChungMesh",
+    "ReplicatedTorus",
+    "SpareRowsTorus",
+    "bch_mesh_nodes",
+    "bch_mesh_degree",
+    "bch_tolerated_for_linear_redundancy",
+]

@@ -1,0 +1,47 @@
+"""Bruck–Cypher–Ho analytic comparator (Section 1's comparison).
+
+[BCH93b] gives, for the ``n x n`` mesh, a **degree-13** construction with
+``n^2 + O(k^3)`` nodes tolerating any ``k`` worst-case faults.  The paper's
+comparison (Section 1):
+
+* BCH wins for small ``k`` (their node overhead is near-minimal),
+* Tamaki's ``D^2`` wins when a *linear* amount of redundancy is allowed:
+  BCH then tolerates only ``O(n^{2/3})`` faults versus ``D``'s
+  ``O(n^{3/4})``.
+
+We did not re-implement BCH's construction (it is not part of this paper);
+experiment E9 uses their *published bounds* with unit constants, clearly
+labelled as analytic.  These helpers centralise those formulas.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "bch_mesh_nodes",
+    "bch_mesh_degree",
+    "bch_tolerated_for_linear_redundancy",
+    "tamaki_tolerated_for_linear_redundancy",
+]
+
+
+def bch_mesh_nodes(n: int, k: int, c3: float = 1.0) -> float:
+    """Node count of the BCH degree-13 mesh construction: ``n^2 + c3 k^3``."""
+    return n * n + c3 * k ** 3
+
+
+def bch_mesh_degree() -> int:
+    """Published degree of the [BCH93b] construction."""
+    return 13
+
+
+def bch_tolerated_for_linear_redundancy(n: int, overhead: float = 1.0, c3: float = 1.0) -> int:
+    """Largest k with ``c3 k^3 <= overhead * n^2`` — i.e. ``Theta(n^{2/3})``."""
+    return int(math.floor((overhead * n * n / c3) ** (1.0 / 3.0)))
+
+
+def tamaki_tolerated_for_linear_redundancy(n: int, d: int = 2) -> int:
+    """Theorem 3: ``k = Theta(n^{1 - 2^{-d}})`` with linear redundancy
+    (d=2: ``n^{3/4}``)."""
+    return int(math.floor(n ** (1.0 - 2.0 ** (-d))))

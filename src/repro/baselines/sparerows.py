@@ -1,0 +1,93 @@
+"""Naive spare-rows comparator: why D's band hierarchy matters.
+
+Add ``sigma`` spare rows to an ``n x n`` torus and, to be able to skip any
+masked run of rows, add vertical jump edges of *every* span ``2..sigma+1``.
+Any ``k <= sigma`` faults are tolerated by discarding every faulty row —
+but the degree is ``4 + 2*sigma = O(k)``.
+
+Contrast with ``D^2_{n,k}``: constant degree 8 via two band widths and the
+pigeonhole cascade.  Experiment E9 tabulates the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReconstructionError
+from repro.topology.coords import CoordCodec
+
+__all__ = ["SpareRowsTorus"]
+
+
+@dataclass
+class SpareRowsRecovery:
+    kept_rows: np.ndarray
+    phi: np.ndarray
+    stats: dict
+
+
+class SpareRowsTorus:
+    """``(n + sigma) x n`` torus with all-span row jumps."""
+
+    def __init__(self, n: int, sigma: int) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        self.n = int(n)
+        self.sigma = int(sigma)
+        self.m = self.n + self.sigma
+        self.codec = CoordCodec((self.m, self.n))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.m * self.n
+
+    @property
+    def degree(self) -> int:
+        """4 torus edges + 2 jump edges per span in 2..sigma+1."""
+        return 4 + 2 * self.sigma
+
+    @property
+    def tolerated(self) -> int:
+        return self.sigma
+
+    def recover(self, faults: np.ndarray) -> SpareRowsRecovery:
+        """Drop every faulty row; fail when more than sigma rows are hit."""
+        faults = np.asarray(faults, dtype=bool)
+        if faults.shape != (self.m, self.n):
+            raise ValueError("fault shape mismatch")
+        bad_rows = np.flatnonzero(faults.any(axis=1))
+        if len(bad_rows) > self.sigma:
+            raise ReconstructionError(
+                f"{len(bad_rows)} faulty rows > sigma = {self.sigma}",
+                category="capacity",
+            )
+        keep = np.setdiff1d(np.arange(self.m), bad_rows)[: self.n]
+        if len(keep) < self.n:
+            raise ReconstructionError("not enough clean rows", category="capacity")
+        # Verify the jump spans suffice (they do by construction: any gap
+        # between consecutive kept rows is <= sigma + 1).
+        gaps = np.diff(np.concatenate([keep, [keep[0] + self.m]]))
+        if gaps.max() > self.sigma + 1:
+            raise ReconstructionError(
+                f"row gap {int(gaps.max())} exceeds jump span {self.sigma + 1}",
+                category="band-invalid",
+            )
+        guest = CoordCodec((self.n, self.n))
+        idx = guest.all_indices()
+        x = guest.axis_coord(idx, 0)
+        y = guest.axis_coord(idx, 1)
+        phi = self.codec.ravel(np.stack([keep[x], y], axis=-1))
+        if faults.ravel()[phi].any():
+            raise ReconstructionError("embedding touches fault", category="embedding")
+        return SpareRowsRecovery(
+            kept_rows=keep, phi=phi, stats={"dropped_rows": len(bad_rows)}
+        )
+
+    def tolerates(self, faults: np.ndarray) -> bool:
+        try:
+            self.recover(faults)
+            return True
+        except ReconstructionError:
+            return False

@@ -1,0 +1,192 @@
+"""Command-line interface: ``repro-ft``.
+
+Subcommands
+-----------
+``info``      print derived parameters of a construction
+``bn-trial``  fault-injection trials against B^d_n
+``dn-attack`` adversarial campaign against D^d_{n,k}
+``figures``   regenerate the paper's Figure 1 / Figure 2 (ASCII)
+``route``     routing simulation on a recovered torus
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.params import BnParams, DnParams
+
+    if args.construction == "bn":
+        p = BnParams(d=args.d, b=args.b, s=args.s, t=args.t)
+        print(p.describe())
+        print(f"  paper fault regime p = b^-3d = {p.paper_fault_probability:.3e}")
+    else:
+        p = DnParams(d=args.d, n=args.n, b=args.b)
+        print(p.describe())
+        print(f"  tolerates any k = {p.k} node+edge faults")
+    return 0
+
+
+def _cmd_bn_trial(args: argparse.Namespace) -> int:
+    from repro.analysis.montecarlo import MonteCarlo
+    from repro.core.bn import BTorus
+    from repro.core.params import BnParams
+
+    params = BnParams(d=args.d, b=args.b, s=args.s, t=args.t)
+    bt = BTorus(params)
+    p = args.p if args.p is not None else params.paper_fault_probability
+    mc = MonteCarlo(lambda seed: bt.trial(p, seed, check_health=args.health))
+    res = mc.run(args.trials, seed0=args.seed)
+    print(params.describe())
+    print(f"p = {p:.4g}: {res.summary()}")
+    return 0
+
+
+def _cmd_dn_attack(args: argparse.Namespace) -> int:
+    from repro.analysis.sweep import sweep_dn_adversarial
+    from repro.core.params import DnParams
+    from repro.faults.adversary import ADVERSARY_PATTERNS
+
+    params = DnParams(d=args.d, n=args.n, b=args.b)
+    print(params.describe())
+    patterns = args.patterns.split(",") if args.patterns else sorted(ADVERSARY_PATTERNS)
+    results = sweep_dn_adversarial(params, patterns, args.trials, seed0=args.seed)
+    for pattern, res in results.items():
+        print(f"  {pattern:10s} {res.summary()}")
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.core.bn import BTorus
+    from repro.core.online import fault_lifetime
+    from repro.core.params import BnParams
+
+    params = BnParams(d=args.d, b=args.b, s=args.s, t=args.t)
+    bt = BTorus(params)
+    lives = sorted(fault_lifetime(bt, seed=args.seed + i) for i in range(args.trials))
+    print(params.describe())
+    print(
+        f"random faults survived before first failure over {args.trials} trials: "
+        f"min={lives[0]} median={lives[len(lives) // 2]} max={lives[-1]}"
+    )
+    print(f"theory scale N*b^-3d = {params.num_nodes * params.paper_fault_probability:.1f}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.viz import figure1, figure2
+
+    for fig in (figure1(), figure2()):
+        print(fig.title)
+        print(fig.text)
+        print(f"  meta: {fig.meta}")
+        print()
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.core.bn import BTorus
+    from repro.core.params import BnParams
+    from repro.sim import latency_stats, make_traffic, simulate
+    from repro.util.rng import spawn_rng
+
+    from repro.errors import ReconstructionError
+
+    params = BnParams(d=2, b=args.b, s=args.s, t=args.t)
+    bt = BTorus(params)
+    rec = None
+    faults = None
+    rng = spawn_rng(args.seed, "cli-route")
+    for attempt in range(10):  # tiny instances occasionally draw a bad set
+        rng = spawn_rng(args.seed + attempt, "cli-route")
+        faults = bt.sample_faults(params.paper_fault_probability, rng)
+        try:
+            rec = bt.recover(faults)
+            break
+        except ReconstructionError as exc:
+            print(f"seed {args.seed + attempt}: unrecoverable draw ({exc.category}); retrying")
+    if rec is None:
+        print("no recoverable draw in 10 attempts", file=sys.stderr)
+        return 1
+    shape = rec.guest_shape()
+    traffic = make_traffic(shape, args.pattern, args.messages, rng)
+    stats = latency_stats(simulate(shape, traffic))
+    print(f"recovered {shape} torus from {int(faults.sum())} faults; "
+          f"routing '{args.pattern}':")
+    for k, v in stats.items():
+        print(f"  {k:10s} {v}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro-ft",
+        description="Fault-tolerant mesh/torus constructions (Tamaki, SPAA'94/JCSS'96)",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_info = sub.add_parser("info", help="show derived parameters")
+    p_info.add_argument("construction", choices=["bn", "dn"])
+    p_info.add_argument("--d", type=int, default=2)
+    p_info.add_argument("--b", type=int, default=3)
+    p_info.add_argument("--s", type=int, default=1)
+    p_info.add_argument("--t", type=int, default=2)
+    p_info.add_argument("--n", type=int, default=70)
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_bn = sub.add_parser("bn-trial", help="Monte-Carlo trials against B^d_n")
+    p_bn.add_argument("--d", type=int, default=2)
+    p_bn.add_argument("--b", type=int, default=3)
+    p_bn.add_argument("--s", type=int, default=1)
+    p_bn.add_argument("--t", type=int, default=2)
+    p_bn.add_argument("--p", type=float, default=None, help="fault probability (default: b^-3d)")
+    p_bn.add_argument("--trials", type=int, default=20)
+    p_bn.add_argument("--seed", type=int, default=0)
+    p_bn.add_argument("--health", action="store_true", help="also check healthiness")
+    p_bn.set_defaults(fn=_cmd_bn_trial)
+
+    p_dn = sub.add_parser("dn-attack", help="adversarial campaign against D^d_{n,k}")
+    p_dn.add_argument("--d", type=int, default=2)
+    p_dn.add_argument("--n", type=int, default=70)
+    p_dn.add_argument("--b", type=int, default=2)
+    p_dn.add_argument("--trials", type=int, default=5)
+    p_dn.add_argument("--seed", type=int, default=0)
+    p_dn.add_argument("--patterns", type=str, default="")
+    p_dn.set_defaults(fn=_cmd_dn_attack)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper Figures 1 and 2")
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_life = sub.add_parser("lifetime", help="random faults survived before first failure")
+    p_life.add_argument("--d", type=int, default=2)
+    p_life.add_argument("--b", type=int, default=3)
+    p_life.add_argument("--s", type=int, default=1)
+    p_life.add_argument("--t", type=int, default=2)
+    p_life.add_argument("--trials", type=int, default=5)
+    p_life.add_argument("--seed", type=int, default=0)
+    p_life.set_defaults(fn=_cmd_lifetime)
+
+    p_route = sub.add_parser("route", help="routing sim on a recovered torus")
+    p_route.add_argument("--b", type=int, default=3)
+    p_route.add_argument("--s", type=int, default=1)
+    p_route.add_argument("--t", type=int, default=2)
+    p_route.add_argument("--pattern", default="uniform")
+    p_route.add_argument("--messages", type=int, default=200)
+    p_route.add_argument("--seed", type=int, default=0)
+    p_route.set_defaults(fn=_cmd_route)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

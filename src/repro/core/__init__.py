@@ -1,0 +1,36 @@
+"""The paper's constructions and recovery algorithms.
+
+* ``BTorus``  — Theorem 2 (`B^d_n`): constant degree ``6d-2``.
+* ``ATorus``  — Theorem 1 (`A^2_n`): degree ``O(log log n)``.
+* ``DTorus``  — Theorem 3/13 (`D^d_{n,k}`): worst-case faults, degree ``4d``.
+"""
+
+from repro.core.params import BnParams, DnParams, AnParams
+from repro.core.bn_graph import BnGraph
+from repro.core.bn import BTorus
+from repro.core.dn import DTorus
+from repro.core.an import ATorus
+from repro.core.bands import Band, BandSet
+from repro.core.healthiness import HealthReport, check_healthiness
+from repro.core.placement import place_bands
+from repro.core.reconstruction import extract_torus
+from repro.core.mesh import mesh_phi, submesh_phi, verify_recovered_mesh
+
+__all__ = [
+    "BnParams",
+    "DnParams",
+    "AnParams",
+    "BnGraph",
+    "BTorus",
+    "DTorus",
+    "ATorus",
+    "Band",
+    "BandSet",
+    "HealthReport",
+    "check_healthiness",
+    "place_bands",
+    "extract_torus",
+    "mesh_phi",
+    "submesh_phi",
+    "verify_recovered_mesh",
+]

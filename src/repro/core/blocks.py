@@ -1,0 +1,248 @@
+"""Straight band segments inside black regions (proof of Lemma 5, step 2).
+
+For one black region:
+
+1. Collect the region's faulty rows and split them into **blocks** —
+   maximal clusters not separated by ``>= 2b`` consecutive fault-free rows.
+2. Inside each block, cyclically number rows mod ``b+1`` relative to the
+   block's first fault; some residue ``i*`` is fault-free (pigeonhole:
+   a healthy block has at most ``2s <= b-1`` faults).  The rows congruent
+   to ``i*`` split the block into width-``b`` gaps; every gap containing a
+   fault becomes one straight **segment** (bottom = row after the
+   separator), masking exactly that gap.
+3. Segments are binned by *tile-row* (strip) of their bottom row and each
+   (region, strip) stack is **padded** to exactly ``s`` segments, keeping
+   all cyclic gaps ``>= b+1`` (so bands built from the stacks are mutually
+   untouching inside the region).
+
+Every step verifies the invariant the proof promises; violations raise
+``block-overflow`` / ``segment-overflow`` / ``padding`` errors that the
+Monte-Carlo driver tallies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.painting import Region
+from repro.core.params import BnParams
+from repro.errors import BandPlacementError
+from repro.topology.grid import TileGeometry
+
+__all__ = ["RegionStacks", "build_region_stacks"]
+
+
+@dataclass
+class RegionStacks:
+    """Per-strip segment stacks of one region.
+
+    ``local[strip]`` is an int array of ``s`` *local* bottoms (relative to
+    the strip's first row, in ``[0, b^2)``), sorted ascending.
+    """
+
+    region: Region
+    local: dict[int, np.ndarray]
+
+
+def region_fault_rows(
+    region: Region, faults: np.ndarray, geo: TileGeometry
+) -> np.ndarray:
+    """Sorted unique dim-0 rows of the faults inside the region's tiles."""
+    in_region = np.zeros(geo.grid.size, dtype=bool)
+    in_region[region.tiles_flat] = True
+    flat = faults.reshape(faults.shape[0], -1)
+    frows, fcols = np.nonzero(flat)
+    if len(frows) == 0:
+        return np.array([], dtype=np.int64)
+    # Tile of each fault.
+    col_codec_shape = faults.shape[1:]
+    col_coords = (
+        np.stack(np.unravel_index(fcols, col_codec_shape), axis=-1)
+        if col_codec_shape
+        else np.zeros((len(fcols), 0), dtype=np.int64)
+    )
+    tile_coords = np.concatenate(
+        [frows[:, None] // geo.tile_side, col_coords // geo.tile_side], axis=1
+    )
+    tiles = geo.grid.ravel(tile_coords)
+    keep = in_region[tiles]
+    return np.unique(frows[keep])
+
+
+def split_blocks(rows: np.ndarray, b: int, m: int) -> list[np.ndarray]:
+    """Split cyclic fault rows into blocks separated by >= 2b fault-free rows.
+
+    Each returned block is an *unwrapped* ascending array (values may exceed
+    ``m``; take mod ``m`` for absolute rows) so that within-block arithmetic
+    is linear.
+    """
+    if len(rows) == 0:
+        return []
+    rows = np.sort(rows)
+    if len(rows) == 1:
+        return [rows]
+    gaps = np.diff(np.concatenate([rows, [rows[0] + m]])) - 1
+    # Cut the circle at the largest gap (must be >= 2b unless single block).
+    cut = int(np.argmax(gaps))
+    order = np.concatenate([rows[cut + 1 :], rows[: cut + 1] + m])
+    inner_gaps = np.diff(order) - 1
+    split_at = np.flatnonzero(inner_gaps >= 2 * b)
+    blocks = []
+    start = 0
+    for sp in split_at:
+        blocks.append(order[start : sp + 1])
+        start = sp + 1
+    blocks.append(order[start:])
+    if gaps[cut] < 2 * b and len(blocks) > 1:
+        # The circle could not be cut cleanly: merge last and first blocks
+        # across the cut (they are closer than 2b).
+        merged = np.concatenate([blocks[-1] - m, blocks[0]])
+        blocks = [merged] + blocks[1:-1]
+    return blocks
+
+
+def segments_for_block(block: np.ndarray, params: BnParams) -> list[int]:
+    """Pigeonhole segment bottoms (unwrapped coords) covering one block."""
+    b = params.b
+    lo = int(block[0])
+    span = int(block[-1]) - lo + 1
+    if span > 2 * params.tile:
+        raise BandPlacementError(
+            f"block spans {span} rows (> 2b^2 = {2 * params.tile})",
+            category="block-overflow",
+        )
+    residues = np.unique((block - lo) % (b + 1))
+    free = np.setdiff1d(np.arange(b + 1), residues)
+    if len(free) == 0:
+        raise BandPlacementError(
+            f"no fault-free residue class mod b+1 in block of {len(block)} fault rows",
+            category="block-overflow",
+        )
+    # Choose the free residue minimising (segment count, max segments that
+    # land in one tile-row): every strip has only s band slots, so packing
+    # segments into one strip is the dominant overflow risk.
+    best: tuple[tuple[int, int], list[int]] | None = None
+    for i_star in free:
+        shifts = block - lo - int(i_star)
+        gap_idx = np.unique((shifts - 1) // (b + 1))  # floor-div handles negatives
+        bottoms = [lo + int(i_star) + (b + 1) * int(g) + 1 for g in gap_idx]
+        strips = [(x % params.m) // params.tile for x in bottoms]
+        load = max(np.bincount(strips).max(), 1) if strips else 1
+        key = (len(bottoms), int(load))
+        if best is None or key < best[0]:
+            best = (key, bottoms)
+    assert best is not None
+    return best[1]
+
+
+def build_region_stacks(
+    region: Region,
+    faults: np.ndarray,
+    params: BnParams,
+    geo: TileGeometry,
+) -> RegionStacks:
+    """Needed segments + padding for one region; verified output."""
+    b, s, tile, m = params.b, params.s, params.tile, params.m
+    rows = region_fault_rows(region, faults, geo)
+    needed: list[int] = []
+    for block in split_blocks(rows, b, m):
+        needed.extend(segments_for_block(block, params))
+    # Verify segments cover all region fault rows and are mutually untouching.
+    _check_needed(needed, rows, params)
+
+    # Bin by strip.  Unwrapped coords are normalised into the region's strip
+    # window so cross-boundary ordering stays linear.
+    start_row = region.strip_start * tile
+    local_positions = sorted(((x - start_row) % m) for x in needed)
+    strip_span = region.strip_count * tile
+    if local_positions and local_positions[-1] >= strip_span:
+        raise BandPlacementError(
+            "segment bottom outside the region's strip range "
+            f"(offset {local_positions[-1]} >= {strip_span})",
+            category="segment-overflow",
+        )
+    per_strip: dict[int, list[int]] = {
+        (region.strip_start + i) % (m // tile): [] for i in range(region.strip_count)
+    }
+    for pos in local_positions:
+        strip = (region.strip_start + pos // tile) % (m // tile)
+        per_strip[strip].append(pos % tile)
+
+    # Pad each strip's stack to exactly s, chaining the >= b+1 gap constraint
+    # through consecutive strips (linear coordinates relative to the region).
+    local: dict[int, np.ndarray] = {}
+    prev: int | None = None  # linear coordinate of the last placed bottom
+    for i in range(region.strip_count):
+        strip = (region.strip_start + i) % (m // tile)
+        existing = [i * tile + x for x in sorted(per_strip[strip])]
+        if len(existing) > s:
+            raise BandPlacementError(
+                f"strip {strip} needs {len(existing)} segments for region "
+                f"{region.label} (> s = {s})",
+                category="segment-overflow",
+            )
+        stack, prev = _pad_stack(existing, s, i * tile, (i + 1) * tile - 1, prev, b)
+        local[strip] = np.array([x - i * tile for x in stack], dtype=np.int64)
+    return RegionStacks(region=region, local=local)
+
+
+def _check_needed(needed: list[int], rows: np.ndarray, params: BnParams) -> None:
+    b, m = params.b, params.m
+    if len(needed) > 1:
+        arr = np.sort(np.asarray(needed) % m)
+        gaps = np.diff(np.concatenate([arr, [arr[0] + m]]))
+        if (gaps < b + 1).any():
+            raise BandPlacementError(
+                f"needed segments touch (min bottom gap {int(gaps.min())} < {b + 1})",
+                category="block-overflow",
+            )
+    if len(rows):
+        covered = np.zeros(len(rows), dtype=bool)
+        for bot in needed:
+            covered |= (rows - bot) % m < b
+        if not covered.all():
+            raise BandPlacementError(
+                "pigeonhole segments failed to cover every region fault row",
+                category="block-overflow",
+            )
+
+
+def _pad_stack(
+    existing: list[int],
+    s: int,
+    strip_lo: int,
+    strip_hi: int,
+    prev: int | None,
+    b: int,
+) -> tuple[list[int], int]:
+    """Pad ``existing`` (linear coords within the region window) to exactly
+    ``s`` bottoms in ``[strip_lo, strip_hi]`` with all gaps >= b+1."""
+    out: list[int] = []
+    queue = deque(existing)
+    for slot in range(s):
+        low = strip_lo if prev is None else max(strip_lo, prev + b + 1)
+        if queue:
+            nxt = queue[0]
+            if nxt < low:
+                raise BandPlacementError(
+                    f"cannot keep >= b+1 gap before needed segment at {nxt} "
+                    f"(low bound {low})",
+                    category="padding",
+                )
+            if nxt - low < b + 1 or (s - slot) == len(queue):
+                prev = queue.popleft()
+                out.append(prev)
+                continue
+        if low > strip_hi:
+            raise BandPlacementError(
+                f"strip [{strip_lo}, {strip_hi}] cannot fit {s} segments",
+                category="padding",
+            )
+        prev = low
+        out.append(prev)
+    if queue:
+        raise BandPlacementError("padding did not consume all needed segments", category="padding")
+    return out, prev

@@ -1,0 +1,331 @@
+"""The worst-case construction ``D^d_{n,k}`` (Theorem 3 / Theorem 13).
+
+Structure: an ``m_1 x ... x m_d`` torus augmented with per-dimension jump
+edges ``(..., x_i, ...) ~ (..., x_i ± (b_i + 1), ...)`` where
+``b_i = b^(2^(i-1))``.  Degree ``4d`` exactly.
+
+Recovery against an *arbitrary* set of ``k = b^(2^d - 1)`` node+edge
+faults (edge faults are ascribed to one endpoint, as in the paper) is a
+cascading pigeonhole:
+
+    dimension ``i`` places ``(m_i - n)/b_i`` straight width-``b_i`` bands:
+    separator coordinates are every ``(b_i+1)``-th position at the offset
+    whose separator class contains the fewest faults; every non-separator
+    fault's gap is masked; at most ``k_i / (b_i + 1) < k_{i+1}`` faults
+    survive into dimension ``i+1``.  The last dimension has capacity for
+    everything that can reach it.
+
+Because ``(b_i + 1) | m_i`` and ``b_i | (m_i - n)`` (see ``DnParams``),
+every masked run has exactly the width of one band, so consecutive
+unmasked coordinates differ by ``1`` (torus edge) or ``b_i + 1`` (jump
+edge) — the unmasked nodes form the ``n^d`` torus directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import DnParams
+from repro.errors import BandPlacementError, EmbeddingError
+from repro.topology.coords import CoordCodec
+from repro.topology.embeddings import verify_torus_embedding
+from repro.topology.graph import CSRGraph
+
+__all__ = ["DTorus", "DnRecovery"]
+
+
+@dataclass
+class DnRecovery:
+    """Verified recovery: per-dimension band bottoms and the embedding."""
+
+    params: DnParams
+    #: per-dimension sorted band bottoms (straight bands)
+    bottoms: list[np.ndarray]
+    #: per-dimension sorted unmasked coordinates (length n each)
+    unmasked: list[np.ndarray]
+    #: flat guest index -> flat host index
+    phi: np.ndarray
+    stats: dict
+
+
+class DTorus:
+    """Theorem 3/13's construction with its recovery pipeline."""
+
+    def __init__(self, params: DnParams) -> None:
+        self.params = params
+        self.codec = CoordCodec(params.shape)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.codec.size
+
+    def edges(self) -> np.ndarray:
+        p = self.params
+        idx = self.codec.all_indices()
+        us, vs = [], []
+        for axis in range(p.d):
+            for delta in (1, p.width(axis + 1) + 1):
+                us.append(idx)
+                vs.append(self.codec.shift(idx, axis, delta, wrap=True))
+        return np.stack([np.concatenate(us), np.concatenate(vs)], axis=1)
+
+    def graph(self) -> CSRGraph:
+        if not hasattr(self, "_graph"):
+            self._graph = CSRGraph(self.num_nodes, self.edges())
+        return self._graph
+
+    def is_adjacent(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Vectorised adjacency: one axis differs by ±1 or ±(b_i+1)."""
+        p = self.params
+        cu = self.codec.unravel(np.asarray(us, dtype=np.int64))
+        cv = self.codec.unravel(np.asarray(vs, dtype=np.int64))
+        ok_axis = []
+        diff_axis = []
+        for axis in range(p.d):
+            mi = p.shape[axis]
+            delta = (cv[..., axis] - cu[..., axis]) % mi
+            w = p.width(axis + 1) + 1
+            good = (delta == 1) | (delta == mi - 1) | (delta == w) | (delta == mi - w)
+            ok_axis.append(good)
+            diff_axis.append(delta != 0)
+        ok = np.stack(ok_axis, axis=-1)
+        diff = np.stack(diff_axis, axis=-1)
+        one_diff = diff.sum(axis=-1) == 1
+        which = diff.argmax(axis=-1)
+        sel = np.take_along_axis(ok, which[..., None], axis=-1).squeeze(-1)
+        return one_diff & sel
+
+    # -- recovery ------------------------------------------------------------
+
+    def fold_edge_faults(
+        self, node_faults: np.ndarray, faulty_edges: np.ndarray | None
+    ) -> np.ndarray:
+        """Ascribe each faulty edge to its first endpoint (paper, §5)."""
+        if faulty_edges is None or len(faulty_edges) == 0:
+            return node_faults
+        out = node_faults.copy()
+        out.ravel()[np.asarray(faulty_edges, dtype=np.int64)[:, 0]] = True
+        return out
+
+    def recover(
+        self,
+        node_faults: np.ndarray | None = None,
+        faulty_edges: np.ndarray | None = None,
+        *,
+        fault_coords: np.ndarray | None = None,
+        verify: bool = True,
+        assemble_phi: bool = True,
+    ) -> DnRecovery:
+        """Mask an arbitrary fault set (<= k faults guaranteed; more is
+        attempted best-effort) and return the verified embedding.
+
+        Faults may be given densely (``node_faults`` boolean array) or
+        sparsely (``fault_coords`` of shape (F, d)) — the sparse path never
+        materialises the host, so million-node-per-side instances cost
+        O(faults) memory.  ``assemble_phi=False`` skips materialising the
+        ``n^d`` guest->host map (use :meth:`map_guest` instead).
+        """
+        p = self.params
+        if fault_coords is not None:
+            if node_faults is not None:
+                raise ValueError("pass either node_faults or fault_coords")
+            coords = np.asarray(fault_coords, dtype=np.int64).reshape(-1, p.d)
+            if faulty_edges is not None and len(faulty_edges):
+                extra = self.codec.unravel(
+                    np.asarray(faulty_edges, dtype=np.int64)[:, 0]
+                )
+                coords = np.concatenate([coords, extra], axis=0)
+            coords = np.unique(coords, axis=0) if len(coords) else coords
+            faults = None
+        else:
+            faults = self.fold_edge_faults(
+                np.asarray(node_faults, dtype=bool), faulty_edges
+            )
+            if faults.shape != p.shape:
+                raise ValueError(f"fault shape {faults.shape} != {p.shape}")
+            coords = np.argwhere(faults)  # (F, d)
+        bottoms: list[np.ndarray] = []
+        passed = coords
+        for axis in range(p.d):
+            bots, passed = self._mask_dimension(axis, passed)
+            bottoms.append(bots)
+        if len(passed):
+            raise BandPlacementError(
+                f"{len(passed)} faults survive all dimensions", category="capacity"
+            )
+        unmasked = []
+        for axis in range(p.d):
+            mask = np.zeros(p.shape[axis], dtype=bool)
+            for bot in bottoms[axis]:
+                mask[(bot + np.arange(p.width(axis + 1))) % p.shape[axis]] = True
+            um = np.flatnonzero(~mask)
+            if len(um) != p.n:
+                raise BandPlacementError(
+                    f"axis {axis}: {len(um)} unmasked coords, expected {p.n}",
+                    category="band-invalid",
+                )
+            unmasked.append(um)
+        # Sparse coverage check (always): every fault coordinate must be
+        # masked along at least one dimension.
+        if len(coords):
+            masked_any = np.zeros(len(coords), dtype=bool)
+            for axis in range(p.d):
+                keep = np.ones(p.shape[axis], dtype=bool)
+                keep[unmasked[axis]] = False
+                masked_any |= keep[coords[:, axis]]
+            if not masked_any.all():
+                raise BandPlacementError(
+                    "a fault coordinate survived every dimension's bands",
+                    category="coverage",
+                )
+        phi = self._assemble_phi(unmasked) if assemble_phi else np.empty(0, dtype=np.int64)
+        stats: dict = {"num_faults": int(len(coords))}
+        rec = DnRecovery(params=p, bottoms=bottoms, unmasked=unmasked, phi=phi, stats=stats)
+        if verify and not assemble_phi:
+            raise ValueError("verify=True requires assemble_phi=True")
+        if verify:
+            if faults is None:
+                # Sparse fault membership for the embedding check.
+                fkeys = (
+                    np.sort(self.codec.ravel(coords))
+                    if len(coords)
+                    else np.empty(0, dtype=np.int64)
+                )
+
+                def fault_lookup(ids):
+                    ids = np.asarray(ids, dtype=np.int64)
+                    if len(fkeys) == 0:
+                        return np.zeros(ids.shape, dtype=bool)
+                    pos = np.clip(np.searchsorted(fkeys, ids), 0, len(fkeys) - 1)
+                    return fkeys[pos] == ids
+
+            else:
+                fault_flat_dense = faults.ravel()
+
+                def fault_lookup(ids):
+                    return fault_flat_dense[np.asarray(ids, dtype=np.int64)]
+
+            edge_set = None
+            if faulty_edges is not None and len(faulty_edges):
+                fe = np.asarray(faulty_edges, dtype=np.int64)
+                lo = np.minimum(fe[:, 0], fe[:, 1])
+                hi = np.maximum(fe[:, 0], fe[:, 1])
+                edge_set = set((int(a) * self.num_nodes + int(b)) for a, b in zip(lo, hi))
+
+            def node_ok(ids):
+                return ~fault_lookup(ids)
+
+            def edge_ok(us_, vs_):
+                ok = self.is_adjacent(us_, vs_) & ~fault_lookup(us_) & ~fault_lookup(vs_)
+                if edge_set:
+                    lo_ = np.minimum(us_, vs_)
+                    hi_ = np.maximum(us_, vs_)
+                    keys = lo_ * self.num_nodes + hi_
+                    bad = np.fromiter(
+                        (int(kk) in edge_set for kk in keys), dtype=bool, count=len(keys)
+                    )
+                    ok &= ~bad
+                return ok
+
+            rec.stats.update(
+                verify_torus_embedding((p.n,) * p.d, phi, node_ok, edge_ok)
+            )
+        return rec
+
+    def map_guest(self, rec: DnRecovery, guest_coords: np.ndarray) -> np.ndarray:
+        """Map guest torus coordinates (..., d) to host flat ids without a
+        materialised ``phi`` (for ``assemble_phi=False`` recoveries)."""
+        guest_coords = np.asarray(guest_coords, dtype=np.int64)
+        host = np.empty_like(guest_coords)
+        for axis in range(self.params.d):
+            host[..., axis] = rec.unmasked[axis][guest_coords[..., axis]]
+        return self.codec.ravel(host)
+
+    def tolerates(
+        self, node_faults: np.ndarray, faulty_edges: np.ndarray | None = None
+    ) -> bool:
+        try:
+            self.recover(node_faults, faulty_edges)
+            return True
+        except (BandPlacementError, EmbeddingError):
+            return False
+
+    # -- internals -------------------------------------------------------------
+
+    def _mask_dimension(
+        self, axis: int, fault_coords: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Place straight bands along ``axis``; return (bottoms, survivors)."""
+        p = self.params
+        mi = p.shape[axis]
+        w = p.width(axis + 1)
+        period = w + 1
+        capacity = (mi - p.n) // w
+        if len(fault_coords) == 0:
+            bottoms = self._pad_bands(np.array([], dtype=np.int64), mi, w, capacity)
+            return bottoms, fault_coords
+        rows = fault_coords[:, axis]
+        # Pigeonhole: the separator offset whose class holds fewest faults.
+        counts = np.bincount(rows % period, minlength=period)
+        phi = int(np.argmin(counts))
+        on_sep = rows % period == phi
+        # Mask every gap (the w positions after a separator) containing a fault.
+        gap_idx = np.unique(((rows[~on_sep] - phi) % mi - 1) // period)
+        needed = phi + 1 + gap_idx * period
+        if len(needed) > capacity:
+            raise BandPlacementError(
+                f"axis {axis}: need {len(needed)} bands > capacity {capacity}",
+                category="capacity",
+            )
+        bottoms = self._pad_bands(np.sort(needed) % mi, mi, w, capacity)
+        # Survivors: faults not covered by any band of this axis.
+        covered = np.zeros(len(rows), dtype=bool)
+        for bot in bottoms:
+            covered |= (rows - bot) % mi < w
+        return bottoms, fault_coords[~covered]
+
+    @staticmethod
+    def _pad_bands(needed: np.ndarray, mi: int, w: int, capacity: int) -> np.ndarray:
+        """Add fault-free bands until exactly ``capacity``, keeping >= 1 gaps."""
+        need = capacity - len(needed)
+        if need == 0:
+            return needed
+        out = list(int(x) for x in needed)
+        if not out:
+            spacing = mi // capacity
+            if spacing < w + 1:
+                raise BandPlacementError("no room to pad bands", category="capacity")
+            return np.array([i * spacing for i in range(capacity)], dtype=np.int64)
+        srt = sorted(out)
+        extras: list[int] = []
+        for idx in range(len(srt)):
+            if need - len(extras) <= 0:
+                break
+            a = srt[idx]
+            nxt = srt[(idx + 1) % len(srt)] + (mi if idx == len(srt) - 1 else 0)
+            cap = (nxt - a) // (w + 1) - 1
+            for j in range(1, cap + 1):
+                if len(extras) >= need:
+                    break
+                extras.append((a + (w + 1) * j) % mi)
+        if len(extras) < need:
+            raise BandPlacementError(
+                f"cannot pad to capacity {capacity} (placed {len(extras)}/{need} extras)",
+                category="capacity",
+            )
+        return np.sort(np.array(out + extras, dtype=np.int64))
+
+    def _assemble_phi(self, unmasked: list[np.ndarray]) -> np.ndarray:
+        """Guest (x_1..x_d) -> host (U_1[x_1], ..., U_d[x_d]), vectorised."""
+        p = self.params
+        guest_codec = CoordCodec((p.n,) * p.d)
+        idx = guest_codec.all_indices()
+        coords = guest_codec.unravel(idx)
+        host = np.empty_like(coords)
+        for axis in range(p.d):
+            host[:, axis] = unmasked[axis][coords[:, axis]]
+        return self.codec.ravel(host)

@@ -1,0 +1,109 @@
+"""Multilinear interpolation through white tiles (Lemmas 9-11).
+
+Bands are built one *tile-row* (strip of ``b^2`` consecutive dim-0 rows) at
+a time.  Within a strip, band ``j``'s value on a column ``z`` is determined
+by a **corner lattice**: the tile grid of the column space ``(C_n)^{d-1}``
+has ``n/b^2`` corners per axis (cyclic); every tile is spanned by its
+``2^{d-1}`` corners; a column sits at fractional position
+``(offset + 0.5) / b^2`` inside its tile (the paper embeds each tile in a
+side-``b^2`` hypercube with boundary-bisected edges).
+
+Corner values (local to the strip, i.e. in ``[0, b^2)``):
+
+* corners touching a black tile take that tile's region stack value
+  (Lemma 9's boundary conditions — all black tiles sharing a corner belong
+  to one region, so the conditions never conflict);
+* free corners take the default ``c_j = b + j (b+1)`` (0-based ``j``),
+  which realises the paper's "at least b" rule for the bottom band and
+  keeps every consecutive pair of bands corner-wise ``b+1`` apart, so by
+  Lemma 10 they stay untouching everywhere;
+* values are rounded with **floor** — by Lemma 11 the real function has
+  slope ``< 1`` along every torus edge, and flooring preserves both the
+  slope-1 bound and integer ``>= b+1`` corner gaps (round-to-nearest would
+  not; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.core.params import BnParams
+
+__all__ = ["default_corner_value", "interpolate_strip_band", "multilinear_on_columns"]
+
+
+def default_corner_value(params: BnParams, j: int) -> int:
+    """Free-corner default for (0-based) band ``j`` of a strip.
+
+    Satisfies ``c_0 = b`` (paper's bottom-band rule), consecutive gaps of
+    exactly ``b+1``, and ``c_{s-1} <= b^2 - b - 1`` (cross-strip rule) —
+    guaranteed by ``s < b/2`` for every ``b >= 3``.
+    """
+    c = params.b + j * (params.b + 1)
+    assert c <= params.tile - params.b - 1, "default corner rule violated"
+    return c
+
+
+def multilinear_on_columns(
+    corner_values: np.ndarray, n: int, tile_side: int
+) -> np.ndarray:
+    """Evaluate the per-tile multilinear extension on every column.
+
+    Parameters
+    ----------
+    corner_values:
+        Float array over the cyclic corner lattice, shape ``(n//tile_side,)*k``.
+    n, tile_side:
+        Column-axis length and tile side ``b^2``.
+
+    Returns a float array of shape ``(n,)*k``: the interpolated value at
+    each column.  ``k == 0`` (d = 1 hosts) returns a scalar array.
+    """
+    k = corner_values.ndim
+    if k == 0:
+        return corner_values.copy()
+    g_count = corner_values.shape[0]
+    pos = np.arange(n)
+    g = pos // tile_side  # tile index per axis
+    x = ((pos % tile_side) + 0.5) / tile_side  # fractional position in tile
+    out = np.zeros((n,) * k, dtype=np.float64)
+    for corner in itertools.product((0, 1), repeat=k):
+        idx = [((g + c) % g_count) for c in corner]
+        vals = corner_values[np.ix_(*idx)]
+        weight = np.ones((n,) * k, dtype=np.float64)
+        for axis, c in enumerate(corner):
+            w = x if c == 1 else 1.0 - x
+            shape = [1] * k
+            shape[axis] = n
+            weight = weight * w.reshape(shape)
+        out += vals * weight
+    return out
+
+
+def interpolate_strip_band(
+    params: BnParams,
+    j: int,
+    corner_black: np.ndarray,
+    corner_value: np.ndarray,
+) -> np.ndarray:
+    """Band ``j``'s *local* bottoms for one strip, every column.
+
+    ``corner_black``: bool array over the corner lattice — corner touches a
+    black tile of this strip.  ``corner_value``: the region-stack value at
+    black corners (ignored elsewhere).
+    Returns an int array over the full column grid, values in ``[0, b^2)``.
+    """
+    default = default_corner_value(params, j)
+    V = np.where(corner_black, corner_value, default).astype(np.float64)
+    real = multilinear_on_columns(V, params.n, params.tile)
+    # The uniform epsilon keeps exact-integer corner values (e.g. constant
+    # black tiles, whose convex combination can evaluate to 5.999...) from
+    # flooring one too low; it shifts all values equally, so the slope and
+    # untouching guarantees — which only involve differences — are intact.
+    out = np.floor(real + 1e-7).astype(np.int64)
+    # Lemma 11 + floor guarantees the slope bound; the values stay inside
+    # the strip because corners do (multilinear = convex combination).
+    assert out.min() >= 0 and out.max() < params.tile
+    return out

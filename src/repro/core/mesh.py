@@ -1,0 +1,88 @@
+"""Mesh views of recovered tori (Section 2; the paper's title claim).
+
+Section 2: the ``s_1 x ... x s_d`` *submesh* of a torus is the subgraph
+induced by a coordinate box; in particular the torus contains the
+same-size mesh ("... still contains the N-node torus, **and hence the
+mesh of the same size**").  Because all our recoveries produce a verified
+torus embedding, the mesh follows by restriction — these helpers make that
+restriction explicit, verified, and available for arbitrary submeshes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.reconstruction import Recovery
+from repro.errors import EmbeddingError
+from repro.topology.coords import CoordCodec
+from repro.topology.embeddings import verify_mesh_embedding
+
+__all__ = ["submesh_phi", "mesh_phi", "verify_recovered_mesh"]
+
+
+def submesh_phi(
+    torus_shape: Sequence[int],
+    phi: np.ndarray,
+    corner: Sequence[int],
+    sizes: Sequence[int],
+) -> np.ndarray:
+    """Restrict a torus embedding to the ``sizes`` submesh at ``corner``.
+
+    Returns the flat guest->host map of the submesh (row-major over
+    ``sizes``).  Wraps cyclically, exactly like the paper's submesh
+    definition (coordinates ``corner_j <= i'_j < corner_j + sizes_j``
+    taken mod ``n_j``).
+    """
+    torus_shape = tuple(int(x) for x in torus_shape)
+    corner = tuple(int(x) for x in corner)
+    sizes = tuple(int(x) for x in sizes)
+    if len(corner) != len(torus_shape) or len(sizes) != len(torus_shape):
+        raise ValueError("corner/sizes dimensionality mismatch")
+    for s, n in zip(sizes, torus_shape):
+        if not (1 <= s <= n):
+            raise ValueError(f"submesh size {s} out of [1, {n}]")
+    codec = CoordCodec(torus_shape)
+    grids = [
+        (corner[a] + np.arange(sizes[a])) % torus_shape[a]
+        for a in range(len(torus_shape))
+    ]
+    mesh = np.meshgrid(*grids, indexing="ij")
+    coords = np.stack([mm.ravel() for mm in mesh], axis=-1)
+    return np.asarray(phi, dtype=np.int64)[codec.ravel(coords)]
+
+
+def mesh_phi(recovery: Recovery) -> np.ndarray:
+    """The full same-size mesh inside a recovered torus (corner 0)."""
+    shape = recovery.guest_shape()
+    return submesh_phi(shape, recovery.phi, (0,) * len(shape), shape)
+
+
+def verify_recovered_mesh(
+    recovery: Recovery,
+    faults: np.ndarray | None,
+    bn,
+    corner: Sequence[int] | None = None,
+    sizes: Sequence[int] | None = None,
+) -> dict:
+    """Verify a (sub)mesh restriction of a ``B^d_n`` recovery edge-by-edge.
+
+    ``bn`` is the hosting :class:`~repro.core.bn_graph.BnGraph`.  Raises
+    :class:`EmbeddingError` on any violation.
+    """
+    shape = recovery.guest_shape()
+    corner = (0,) * len(shape) if corner is None else corner
+    sizes = shape if sizes is None else tuple(sizes)
+    phi = submesh_phi(shape, recovery.phi, corner, sizes)
+    fault_flat = (
+        faults.ravel() if faults is not None else np.zeros(bn.codec.size, dtype=bool)
+    )
+
+    def node_ok(ids):
+        return ~fault_flat[ids]
+
+    def edge_ok(us, vs):
+        return bn.is_adjacent(us, vs) & ~fault_flat[us] & ~fault_flat[vs]
+
+    return verify_mesh_embedding(sizes, phi, node_ok, edge_ok)

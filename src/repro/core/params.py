@@ -1,0 +1,327 @@
+"""Validated parameter sets for the three constructions.
+
+The paper states its constructions asymptotically (``b ~ log n``,
+``m ~ (1+eps) n``, implicit round-offs).  For an executable reproduction
+every divisibility the proofs rely on must hold *exactly*, so we re-express
+the free parameters so that all derived quantities are integers:
+
+``B^d_n`` (Theorem 2)
+    Given band width ``b >= 3``, segments-per-tile-row ``s`` (the paper's
+    ``eps * b``) and a scale factor ``t``:
+
+    * ``n = t * b^2 * (b - s)``   (torus side)
+    * ``m = t * b^3``             (augmented first-dimension side)
+
+    Then ``m - n = t b^2 s``, the number of bands is
+    ``(m-n)/b = t b s = s * (m / b^2)`` — exactly ``s`` per tile-row — and
+    both ``n`` and ``m`` are multiples of the tile side ``b^2``.  The node
+    redundancy is ``m/n = 1/(1 - s/b) = 1 + eps + O(eps^2)``.
+
+``D^d_{n,k}`` (Theorem 3/13)
+    Given base width ``b`` and dimension ``d``: ``b_i = b^(2^(i-1))``,
+    tolerated faults ``k = b^(2^d - 1)``.  Per-dimension side ``m_i`` is the
+    smallest value ``>= n + b^(2^d)`` with ``(b_i + 1) | m_i`` and
+    ``b_i | (m_i - n)`` (CRT; ``b_i`` and ``b_i+1`` are coprime), so the
+    separator/pigeonhole machinery needs no round-off cases.
+
+``A^2_n`` (Theorem 1)
+    Built over a ``BnParams`` host with supernode size ``h`` and submesh
+    side ``k``; ``n = k * n_B``.  The paper's constants ``c, alpha`` are
+    recovered as ``c = h (1+eps) / k^2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["BnParams", "DnParams", "AnParams", "suggest_bn_params"]
+
+
+@dataclass(frozen=True)
+class BnParams:
+    """Parameters of the ``B^d_n`` construction (Theorem 2).
+
+    Attributes
+    ----------
+    d: dimension (>= 2 in the paper; we also allow d == 1 for testing).
+    b: band width, the paper's ``b ~ log n`` (>= 3 so s-frames exist).
+    s: straight band segments per tile-row; the paper's ``eps * b``.
+       Must satisfy ``1 <= s`` and ``s/b < 1/2``.
+    t: scale factor (>= ceil(b / (b - s)) so that ``n >= b^3`` and the tile
+       grid is at least ``b`` tiles wide in every dimension).
+    """
+
+    d: int
+    b: int
+    s: int
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.d < 1:
+            raise ParameterError("d must be >= 1")
+        if self.b < 3:
+            raise ParameterError("b must be >= 3 (frames need s in [3, b])")
+        if not (1 <= self.s):
+            raise ParameterError("s must be >= 1")
+        if 2 * self.s >= self.b:
+            raise ParameterError(
+                f"s/b = {self.s}/{self.b} must be < 1/2 (paper: 0 < eps < 1/2)"
+            )
+        if self.t * (self.b - self.s) < self.b:
+            raise ParameterError(
+                f"t={self.t} too small: need t*(b-s) >= b so the tile grid "
+                f"is at least b tiles wide (got {self.t * (self.b - self.s)} < {self.b})"
+            )
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Torus side length."""
+        return self.t * self.b * self.b * (self.b - self.s)
+
+    @property
+    def m(self) -> int:
+        """Augmented side length of the first dimension."""
+        return self.t * self.b ** 3
+
+    @property
+    def eps(self) -> float:
+        """Masking fraction ``eps = s/b``: ``m = n / (1 - eps)``."""
+        return self.s / self.b
+
+    @property
+    def eps_redundancy(self) -> float:
+        """Node-redundancy epsilon: ``|B| = (1 + eps') n^d`` with
+        ``eps' = s/(b-s)``.  (The paper's single ``eps`` plays both roles up
+        to O(eps^2); with exact divisibility they split.)"""
+        return self.s / (self.b - self.s)
+
+    @property
+    def tile(self) -> int:
+        """Tile side ``b^2``."""
+        return self.b * self.b
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Node shape ``(m, n, ..., n)`` with ``d`` axes."""
+        return (self.m,) + (self.n,) * (self.d - 1)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.m * self.n ** (self.d - 1)
+
+    @property
+    def num_bands(self) -> int:
+        """Total bands = (m - n) / b = s bands per tile-row."""
+        return (self.m - self.n) // self.b
+
+    @property
+    def tile_rows(self) -> int:
+        """Number of tile-rows (strips of ``b^2`` consecutive dim-0 rows)."""
+        return self.m // self.tile
+
+    @property
+    def degree(self) -> int:
+        """The paper's degree bound ``6d - 2`` (exact for this construction)."""
+        return 6 * self.d - 2
+
+    @property
+    def redundancy(self) -> float:
+        """Node overhead ``|B| / n^d = m / n``."""
+        return self.m / self.n
+
+    @property
+    def paper_fault_probability(self) -> float:
+        """Theorem 2's regime expressed through the *actual* band width:
+        ``p = b^{-3d}`` (the paper sets ``b ~ log n``)."""
+        return float(self.b) ** (-3 * self.d)
+
+    def describe(self) -> str:
+        return (
+            f"B^{self.d}_{self.n}: b={self.b} s={self.s} t={self.t} "
+            f"m={self.m} nodes={self.num_nodes} bands={self.num_bands} "
+            f"degree={self.degree} redundancy={self.redundancy:.3f}"
+        )
+
+
+def suggest_bn_params(n_target: int, d: int = 2, s: int = 1) -> BnParams:
+    """A ``BnParams`` with ``b ~ log2(n)`` and ``n`` as close to
+    ``n_target`` as the divisibility allows (the paper's asymptotic recipe)."""
+    if n_target < 8:
+        raise ParameterError("n_target too small")
+    b = max(3, int(round(math.log2(n_target))))
+    while 2 * s >= b:
+        b += 1
+    denom = b * b * (b - s)
+    t = max(1, int(round(n_target / denom)))
+    while t * (b - s) < b:
+        t += 1
+    return BnParams(d=d, b=b, s=s, t=t)
+
+
+@dataclass(frozen=True)
+class DnParams:
+    """Parameters of the worst-case construction ``D^d_{n,k}`` (Theorem 3/13).
+
+    Attributes
+    ----------
+    d: dimension (>= 1).
+    n: target torus side.
+    b: base band width (>= 2).  The construction tolerates
+       ``k = b^(2^d - 1)`` worst-case node+edge faults.
+    """
+
+    d: int
+    n: int
+    b: int
+    #: Derived per-dimension sides; filled in __post_init__.
+    m: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.d < 1:
+            raise ParameterError("d must be >= 1")
+        if self.b < 2:
+            raise ParameterError("b must be >= 2")
+        if self.n < self.k:
+            raise ParameterError(
+                f"n={self.n} must be >= k={self.k} (need at least k separator rows)"
+            )
+        object.__setattr__(self, "m", tuple(self._solve_side(i) for i in range(1, self.d + 1)))
+
+    def _solve_side(self, i: int) -> int:
+        """Smallest ``m >= n + b^(2^d)`` with ``(b_i+1) | m`` and ``b_i | m - n``."""
+        bi = self.width(i)
+        lo = self.n + self.b ** (2 ** self.d)
+        # CRT: m ≡ 0 (mod bi+1), m ≡ n (mod bi); bi and bi+1 coprime.
+        period = bi * (bi + 1)
+        for m in range(lo, lo + period + 1):
+            if m % (bi + 1) == 0 and (m - self.n) % bi == 0:
+                return m
+        raise ParameterError("unreachable: CRT window exhausted")
+
+    # -- derived -------------------------------------------------------------
+
+    def width(self, i: int) -> int:
+        """Band width along dimension ``i`` (1-based): ``b_i = b^(2^(i-1))``."""
+        if not (1 <= i <= self.d):
+            raise ValueError(f"dimension {i} out of [1, {self.d}]")
+        return self.b ** (2 ** (i - 1))
+
+    @property
+    def k(self) -> int:
+        """Number of worst-case faults tolerated: ``b^(2^d - 1)``."""
+        return self.b ** (2 ** self.d - 1)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.m
+
+    @property
+    def num_nodes(self) -> int:
+        out = 1
+        for mi in self.m:
+            out *= mi
+        return out
+
+    @property
+    def degree(self) -> int:
+        """``4d``: 2d torus edges + 2d jump edges."""
+        return 4 * self.d
+
+    def capacity(self, i: int) -> int:
+        """Number of bands available along dimension ``i``."""
+        return (self.m[i - 1] - self.n) // self.width(i)
+
+    @property
+    def paper_node_bound(self) -> int:
+        """The theorem's bound ``(n + k^(2^d/(2^d-1)))^d`` (d=2: ``(n+k^{4/3})^2``)."""
+        extra = self.b ** (2 ** self.d)
+        return (self.n + extra + self.width(self.d) * (self.width(self.d) + 1)) ** self.d
+
+    def describe(self) -> str:
+        return (
+            f"D^{self.d}_(n={self.n}, k={self.k}): b={self.b} m={self.m} "
+            f"nodes={self.num_nodes} degree={self.degree}"
+        )
+
+
+@dataclass(frozen=True)
+class AnParams:
+    """Parameters of ``A^d_n`` (Theorem 1).
+
+    The host is ``B^d_{n_B}`` given by ``base``; every host node becomes a
+    clique *supernode* of ``h`` nodes and the final torus side is
+    ``n = k_sub * n_B`` (each supernode receives a ``(k_sub)^d`` submesh).
+    The paper proves ``d = 2`` and notes the general case follows "by
+    simply changing some constants"; we implement general ``d`` with the
+    constants spelled out: the good-supernode threshold becomes
+    ``k^d + 4d sqrt(q) h`` (a node has at most ``2d`` already-embedded
+    neighbours, each forbidding at most ``2 sqrt(q) h`` good nodes).
+
+    For the theorem's guarantees one needs
+    ``(1-p) h > k_sub^d + 4d sqrt(q) h`` with slack — checked by
+    :meth:`feasible_for`.
+    """
+
+    base: BnParams
+    k_sub: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.base.d < 2:
+            raise ParameterError("A^d_n needs a d >= 2 dimensional B host")
+        if self.k_sub < 1:
+            raise ParameterError("k_sub must be >= 1")
+        if self.h < self.k_sub ** self.base.d:
+            raise ParameterError(
+                f"h={self.h} must be >= k_sub^d={self.k_sub ** self.base.d} "
+                "(a supernode must fit a k x ... x k submesh)"
+            )
+
+    @property
+    def d(self) -> int:
+        return self.base.d
+
+    @property
+    def n(self) -> int:
+        """Side of the target torus."""
+        return self.k_sub * self.base.n
+
+    @property
+    def num_supernodes(self) -> int:
+        return self.base.num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_supernodes * self.h
+
+    @property
+    def c_effective(self) -> float:
+        """Theorem 1's ``c``: total nodes / n^d."""
+        return self.num_nodes / float(self.n ** self.d)
+
+    @property
+    def degree(self) -> int:
+        """Exact degree: ``h - 1`` clique edges + ``h`` per adjacent supernode."""
+        return (self.h - 1) + self.base.degree * self.h
+
+    def good_node_threshold(self, q: float) -> float:
+        """Per-supernode good-node requirement ``k^d + 4d sqrt(q) h``
+        (paper, d=2: ``k^2 + 8 sqrt(q) h``)."""
+        return self.k_sub ** self.d + 4.0 * self.d * math.sqrt(q) * self.h
+
+    def feasible_for(self, p: float, q: float) -> bool:
+        """Whether the expected good-node count clears the threshold
+        (the paper's inequality (1): ``1-p > (1+eps)/c + 8 sqrt(q)``)."""
+        return (1.0 - p) * self.h > self.good_node_threshold(q)
+
+    def describe(self) -> str:
+        return (
+            f"A^{self.d}_{self.n}: host {self.base.describe()}, "
+            f"k={self.k_sub} h={self.h} "
+            f"nodes={self.num_nodes} c={self.c_effective:.2f} degree={self.degree}"
+        )

@@ -1,0 +1,167 @@
+"""Extracting the fault-free torus from the unmasked nodes (Lemmas 6-8).
+
+Given a valid :class:`~repro.core.bands.BandSet` on ``B^d_n``:
+
+* each column's ``n`` unmasked rows form a cycle (torus edges where rows
+  are consecutive, a *vertical jump* ``+(b+1)`` where they hop over a band);
+* rows are traced column-to-column: if the current row is masked at the
+  next column, the path jumps ``±b`` with a *diagonal jump* — upward when
+  the offending band moved up onto it, downward otherwise (Lemma 6's two
+  cases);
+* Lemma 7 guarantees the result is path-independent; we do not take that
+  on faith — the BFS transition is *verified on every non-tree edge* of the
+  column graph, and the final mapping goes through
+  :func:`repro.topology.embeddings.verify_torus_embedding`.
+
+The output maps guest torus node ``(i, z)`` to host node ``(psi_z[i], z)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bands import BandSet
+from repro.core.bn_graph import BnGraph
+from repro.core.params import BnParams
+from repro.errors import EmbeddingError, ReconstructionError
+from repro.topology.coords import CoordCodec
+from repro.topology.embeddings import verify_torus_embedding
+
+__all__ = ["Recovery", "extract_torus"]
+
+
+@dataclass
+class Recovery:
+    """A verified embedding of the fault-free ``n^d`` torus into ``B^d_n``."""
+
+    params: BnParams
+    bands: BandSet
+    #: flat guest index -> flat host index, shape (n^d,)
+    phi: np.ndarray
+    stats: dict
+
+    def guest_shape(self) -> tuple[int, ...]:
+        return (self.params.n,) * self.params.d
+
+
+def extract_torus(
+    bn: BnGraph,
+    bands: BandSet,
+    faults: np.ndarray | None = None,
+    *,
+    verify: bool = True,
+) -> Recovery:
+    """Build and (by default) fully verify the torus embedding."""
+    p = bn.params
+    m, n, b = p.m, p.n, p.b
+    col_codec = bands.col_codec
+    num_cols = col_codec.size
+
+    # psi[z] = array of n host rows, in column-cycle order.
+    psi = np.full((num_cols, n), -1, dtype=np.int64)
+    psi[0] = bands.unmasked_rows(0)
+    if psi[0].shape[0] != n:
+        raise ReconstructionError(
+            f"column 0 has {psi[0].shape[0]} unmasked rows, expected {n}",
+            category="band-invalid",
+        )
+
+    # BFS over the column torus (C_n)^{d-1}.
+    visited = np.zeros(num_cols, dtype=bool)
+    visited[0] = True
+    frontier = [0]
+    col_axes = p.d - 1
+    tree_edges = 0
+    while frontier:
+        nxt_frontier = []
+        for z in frontier:
+            for axis in range(col_axes):
+                for delta in (+1, -1):
+                    z2 = int(col_codec.shift(np.array([z]), axis, delta, wrap=True)[0])
+                    if visited[z2]:
+                        continue
+                    psi[z2] = _transition(psi[z], bands.bottoms[:, z], bands.bottoms[:, z2], m, b)
+                    visited[z2] = True
+                    tree_edges += 1
+                    nxt_frontier.append(z2)
+        frontier = nxt_frontier
+    if not visited.all():
+        raise ReconstructionError("column graph BFS did not reach all columns", category="band-invalid")
+
+    # Lemma 7 check: every column-graph edge must be transition-consistent.
+    checked = 0
+    if col_axes:
+        idx = col_codec.all_indices()
+        for axis in range(col_axes):
+            z2s = col_codec.shift(idx, axis, +1, wrap=True)
+            for z, z2 in zip(idx, z2s):
+                got = _transition(psi[z], bands.bottoms[:, z], bands.bottoms[:, z2], m, b)
+                if not (got == psi[z2]).all():
+                    raise ReconstructionError(
+                        f"Lemma 7 consistency violated on column edge {z}->{z2}",
+                        category="band-invalid",
+                    )
+                checked += 1
+
+    # Assemble phi: guest (i, z) -> host (psi[z][i], z).
+    host_codec = bn.codec
+    guest = np.empty((num_cols, n), dtype=np.int64)
+    if col_axes:
+        col_coords = col_codec.unravel(col_codec.all_indices())  # (C, d-1)
+        host_coords = np.empty((num_cols, n, p.d), dtype=np.int64)
+        host_coords[:, :, 0] = psi
+        host_coords[:, :, 1:] = col_coords[:, None, :]
+        guest = host_codec.ravel(host_coords)  # (C, n)
+    else:
+        guest[0] = psi[0]
+        guest = guest[:1]
+    # Guest index layout: torus (n, n, ..., n) with dim-0 = i, rest = z.
+    # flat guest = i * num_cols + ... careful: row-major (i, z1..z_{d-1})
+    # => flat = i * (n^{d-1}) + z_flat.
+    phi = np.empty(n * num_cols, dtype=np.int64)
+    for i in range(n):
+        phi[i * num_cols : (i + 1) * num_cols] = guest[:, i]
+
+    stats = {"tree_edges": tree_edges, "consistency_edges": checked}
+    rec = Recovery(params=p, bands=bands, phi=phi, stats=stats)
+    if verify:
+        fault_flat = (
+            faults.ravel() if faults is not None else np.zeros(host_codec.size, dtype=bool)
+        )
+
+        def node_ok(ids):
+            return ~fault_flat[ids]
+
+        def edge_ok(us, vs):
+            return bn.is_adjacent(us, vs) & ~fault_flat[us] & ~fault_flat[vs]
+
+        rec.stats.update(
+            verify_torus_embedding((n,) * p.d, phi, node_ok, edge_ok)
+        )
+    return rec
+
+
+def _transition(
+    rows: np.ndarray, bot_from: np.ndarray, bot_to: np.ndarray, m: int, b: int
+) -> np.ndarray:
+    """Move every tracked row from column ``z`` (bottoms ``bot_from``) to the
+    adjacent column ``z2`` (bottoms ``bot_to``) — Lemma 6's jump rule."""
+    # Which band (if any) masks each row at the destination column?
+    offs = (rows[None, :] - bot_to[:, None]) % m  # (K, n)
+    masked = offs < b
+    k = masked.argmax(axis=0)
+    is_masked = masked.any(axis=0)
+    bt_to = bot_to[k]
+    bt_from = bot_from[k]
+    up = (bt_from - (rows + 1)) % m == 0  # band sat just above the row at z
+    down = (rows - 1 - (bt_from + b - 1)) % m == 0  # band sat just below
+    new_rows = np.where(up, (rows + b) % m, (rows - b) % m)
+    if (is_masked & ~(up | down)).any():
+        raise ReconstructionError(
+            "row masked at destination but source band position inconsistent "
+            "(slope condition broken?)",
+            category="band-invalid",
+        )
+    return np.where(is_masked, new_rows, rows)

@@ -1,0 +1,19 @@
+"""Fault models: i.i.d. random node/edge faults and adversarial campaigns."""
+
+from repro.faults.models import (
+    BernoulliNodeFaults,
+    HalfEdgeFaults,
+    paper_node_failure_probability,
+)
+from repro.faults.adversary import (
+    ADVERSARY_PATTERNS,
+    adversarial_node_faults,
+)
+
+__all__ = [
+    "BernoulliNodeFaults",
+    "HalfEdgeFaults",
+    "paper_node_failure_probability",
+    "ADVERSARY_PATTERNS",
+    "adversarial_node_faults",
+]

@@ -1,0 +1,33 @@
+"""Latency / throughput summaries for simulator output."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.engine import SimResult
+
+__all__ = ["latency_stats"]
+
+
+def latency_stats(result: SimResult) -> dict:
+    """Mean / p50 / p99 / max latency plus delivery + throughput numbers."""
+    lat = result.latencies
+    if len(lat) == 0:
+        return {
+            "delivered": result.delivered,
+            "total": result.total,
+            "mean": float("nan"),
+            "p50": float("nan"),
+            "p99": float("nan"),
+            "max": float("nan"),
+            "throughput": result.throughput,
+        }
+    return {
+        "delivered": result.delivered,
+        "total": result.total,
+        "mean": float(lat.mean()),
+        "p50": float(np.percentile(lat, 50)),
+        "p99": float(np.percentile(lat, 99)),
+        "max": int(lat.max()),
+        "throughput": result.throughput,
+    }

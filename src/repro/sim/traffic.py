@@ -1,0 +1,93 @@
+"""Synthetic traffic patterns for the torus simulator.
+
+Classic patterns from the mesh/torus routing literature — the workloads a
+machine built on the paper's constructions would actually run:
+
+* ``uniform``    — independent uniformly random destinations,
+* ``transpose``  — (x, y, ...) -> (y, x, ...): adversarial for e-cube,
+* ``neighbor``   — nearest-neighbour halo exchange (stencil codes),
+* ``hotspot``    — all-to-one with background uniform traffic,
+* ``bitreverse`` — index bit-reversal (FFT-style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.coords import CoordCodec
+
+__all__ = ["TRAFFIC_PATTERNS", "make_traffic"]
+
+
+def _uniform(codec: CoordCodec, count: int, rng: np.random.Generator) -> np.ndarray:
+    src = rng.integers(0, codec.size, count)
+    dst = rng.integers(0, codec.size, count)
+    keep = src != dst
+    return np.stack([src[keep], dst[keep]], axis=1)
+
+
+def _transpose(codec: CoordCodec, count: int, rng: np.random.Generator) -> np.ndarray:
+    src = rng.integers(0, codec.size, count)
+    coords = codec.unravel(src)
+    rolled = np.roll(coords, 1, axis=-1) % np.array(codec.shape)
+    dst = codec.ravel(rolled)
+    keep = src != dst
+    return np.stack([src[keep], dst[keep]], axis=1)
+
+
+def _neighbor(codec: CoordCodec, count: int, rng: np.random.Generator) -> np.ndarray:
+    src = rng.integers(0, codec.size, count)
+    axis = rng.integers(0, codec.ndim, count)
+    sign = rng.choice([-1, 1], count)
+    dst = src.copy()
+    for a in range(codec.ndim):
+        mask = axis == a
+        if mask.any():
+            dst[mask] = codec.shift(src[mask], a, +1, wrap=True) * (sign[mask] > 0) + codec.shift(
+                src[mask], a, -1, wrap=True
+            ) * (sign[mask] < 0)
+    return np.stack([src, dst], axis=1)
+
+
+def _hotspot(codec: CoordCodec, count: int, rng: np.random.Generator) -> np.ndarray:
+    hot = int(rng.integers(0, codec.size))
+    src = rng.integers(0, codec.size, count)
+    dst = np.where(rng.random(count) < 0.3, hot, rng.integers(0, codec.size, count))
+    keep = src != dst
+    return np.stack([src[keep], dst[keep]], axis=1)
+
+
+def _bitreverse(codec: CoordCodec, count: int, rng: np.random.Generator) -> np.ndarray:
+    bits = max(1, int(np.ceil(np.log2(codec.size))))
+    src = rng.integers(0, codec.size, count)
+
+    def rev(v: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(v)
+        x = v.copy()
+        for _ in range(bits):
+            out = (out << 1) | (x & 1)
+            x >>= 1
+        return out % codec.size
+
+    dst = rev(src)
+    keep = src != dst
+    return np.stack([src[keep], dst[keep]], axis=1)
+
+
+TRAFFIC_PATTERNS = {
+    "uniform": _uniform,
+    "transpose": _transpose,
+    "neighbor": _neighbor,
+    "hotspot": _hotspot,
+    "bitreverse": _bitreverse,
+}
+
+
+def make_traffic(
+    shape: tuple[int, ...], pattern: str, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """(M, 2) array of (src, dst) flat-index pairs on the ``shape`` torus."""
+    if pattern not in TRAFFIC_PATTERNS:
+        raise KeyError(f"unknown pattern {pattern!r}; options {sorted(TRAFFIC_PATTERNS)}")
+    codec = CoordCodec(shape)
+    return TRAFFIC_PATTERNS[pattern](codec, count, rng)

@@ -1,0 +1,26 @@
+"""Graph/topology substrate: tori, meshes, products, tiles, embeddings."""
+
+from repro.topology.coords import CoordCodec
+from repro.topology.graph import CSRGraph
+from repro.topology.torus import (
+    cycle_graph,
+    mesh_graph,
+    path_graph,
+    torus_graph,
+)
+from repro.topology.product import direct_product
+from repro.topology.grid import TileGeometry
+from repro.topology.embeddings import verify_torus_embedding, verify_mesh_embedding
+
+__all__ = [
+    "CoordCodec",
+    "CSRGraph",
+    "cycle_graph",
+    "path_graph",
+    "torus_graph",
+    "mesh_graph",
+    "direct_product",
+    "TileGeometry",
+    "verify_torus_embedding",
+    "verify_mesh_embedding",
+]

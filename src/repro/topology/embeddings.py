@@ -1,0 +1,89 @@
+"""Embedding verification.
+
+The library never *trusts* a reconstruction: every claimed fault-free torus
+is checked edge-by-edge against the host construction.  Host graphs may be
+too large to materialise (e.g. ``A^2_n`` supernode cliques), so the host is
+abstracted by two vectorised predicates:
+
+``node_ok(ids) -> bool[...]``
+    True where the host node is alive (non-faulty).
+``edge_ok(us, vs) -> bool[...]``
+    True where ``{us[i], vs[i]}`` is an existing, non-faulty host edge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.topology.coords import CoordCodec
+
+__all__ = ["verify_torus_embedding", "verify_mesh_embedding"]
+
+NodePred = Callable[[np.ndarray], np.ndarray]
+EdgePred = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _verify(
+    shape: Sequence[int],
+    phi: np.ndarray,
+    node_ok: NodePred,
+    edge_ok: EdgePred,
+    *,
+    wrap: bool,
+    what: str,
+) -> dict:
+    codec = CoordCodec(shape)
+    phi = np.asarray(phi, dtype=np.int64).ravel()
+    if phi.shape[0] != codec.size:
+        raise EmbeddingError(
+            f"{what}: mapping has {phi.shape[0]} entries, expected {codec.size}"
+        )
+    if np.unique(phi).size != phi.size:
+        raise EmbeddingError(f"{what}: mapping is not injective")
+    ok = np.asarray(node_ok(phi), dtype=bool)
+    if not ok.all():
+        raise EmbeddingError(
+            f"{what}: {int((~ok).sum())} mapped nodes are faulty/invalid"
+        )
+    idx = codec.all_indices()
+    checked = 0
+    for axis, n in enumerate(codec.shape):
+        if n < 2:
+            continue
+        nxt = codec.shift(idx, axis, +1, wrap=wrap)
+        src = idx
+        if not wrap:
+            keep = nxt >= 0
+            src, nxt = src[keep], nxt[keep]
+        elif n == 2:
+            keep = codec.axis_coord(idx, axis) == 0
+            src, nxt = src[keep], nxt[keep]
+        good = np.asarray(edge_ok(phi[src], phi[nxt]), dtype=bool)
+        if not good.all():
+            bad = int((~good).sum())
+            i = int(np.flatnonzero(~good)[0])
+            raise EmbeddingError(
+                f"{what}: {bad} guest edges missing/faulty in host "
+                f"(first: axis {axis}, guest {src[i]}->{nxt[i]}, "
+                f"host {phi[src[i]]}->{phi[nxt[i]]})"
+            )
+        checked += len(src)
+    return {"nodes": int(phi.size), "edges_checked": checked}
+
+
+def verify_torus_embedding(
+    shape: Sequence[int], phi: np.ndarray, node_ok: NodePred, edge_ok: EdgePred
+) -> dict:
+    """Verify ``phi`` embeds the ``shape`` torus into the host. Raises
+    :class:`EmbeddingError` on any violation; returns check statistics."""
+    return _verify(shape, phi, node_ok, edge_ok, wrap=True, what="torus embedding")
+
+
+def verify_mesh_embedding(
+    shape: Sequence[int], phi: np.ndarray, node_ok: NodePred, edge_ok: EdgePred
+) -> dict:
+    """Verify ``phi`` embeds the ``shape`` mesh into the host."""
+    return _verify(shape, phi, node_ok, edge_ok, wrap=False, what="mesh embedding")

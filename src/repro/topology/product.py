@@ -1,0 +1,50 @@
+"""Direct (Cartesian) products of graphs.
+
+Section 2: ``(u_1..u_d) ~ (v_1..v_d)`` iff they agree in all but one
+coordinate and differ by an edge there.  (The paper calls this the *direct
+product*; in modern terminology it is the Cartesian product.)  Used by the
+Alon–Chung style baseline (``F_n x (L_n)^{d-1}``) and by tests that
+cross-check the torus builders.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.topology.coords import CoordCodec
+from repro.topology.graph import CSRGraph
+
+__all__ = ["direct_product"]
+
+
+def direct_product(factors: Sequence[CSRGraph]) -> CSRGraph:
+    """Cartesian product of ``factors`` with row-major node numbering.
+
+    Node ``(v_1, ..., v_d)`` gets flat index ``ravel(v_1, ..., v_d)`` under
+    :class:`CoordCodec` with shape ``(|G_1|, ..., |G_d|)``.
+    """
+    if not factors:
+        raise ValueError("need at least one factor")
+    shape = [g.num_nodes for g in factors]
+    codec = CoordCodec(shape)
+    us, vs = [], []
+    for axis, g in enumerate(factors):
+        e = g.edges()
+        if e.size == 0:
+            continue
+        # Other-axes index block: enumerate the product of the other shapes
+        # and lift each factor edge across it using strides.
+        stride = codec.strides[axis]
+        n = shape[axis]
+        # All flat indices whose axis-coordinate is 0:
+        base = codec.all_indices()
+        base = base[codec.axis_coord(base, axis) == 0]
+        # For each edge (a, b) in the factor, connect base + a*stride to base + b*stride.
+        for a, b in e:
+            us.append(base + int(a) * stride)
+            vs.append(base + int(b) * stride)
+    if not us:
+        return CSRGraph(codec.size, np.empty((0, 2), dtype=np.int64))
+    return CSRGraph(codec.size, np.stack([np.concatenate(us), np.concatenate(vs)], axis=1))

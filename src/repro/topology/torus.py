@@ -1,0 +1,86 @@
+"""Builders for the paper's reference topologies.
+
+Section 2 of the paper: ``C_n`` is the cycle, ``L_n`` the path, and the
+``d``-dimensional torus/mesh are direct products of cycles/paths.  These
+builders produce :class:`~repro.topology.graph.CSRGraph` instances with nodes
+identified by row-major flat indices (see :class:`~repro.topology.coords.CoordCodec`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.topology.coords import CoordCodec
+from repro.topology.graph import CSRGraph
+
+__all__ = ["cycle_graph", "path_graph", "torus_graph", "mesh_graph", "torus_edges"]
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """The cycle ``C_n`` (for ``n == 2`` this degenerates to a single edge,
+    for ``n == 1`` to an isolated node — matching direct-product semantics)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n == 1:
+        return CSRGraph(1, np.empty((0, 2), dtype=np.int64))
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    if n == 2:
+        return CSRGraph(2, np.array([[0, 1]], dtype=np.int64))
+    return CSRGraph(n, np.stack([src, dst], axis=1))
+
+
+def path_graph(n: int) -> CSRGraph:
+    """The path ``L_n`` (cycle minus one edge)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    src = np.arange(n - 1, dtype=np.int64)
+    return CSRGraph(n, np.stack([src, src + 1], axis=1))
+
+
+def torus_edges(shape: Sequence[int]) -> np.ndarray:
+    """Edge array of the ``shape`` torus (wrap in every axis)."""
+    codec = CoordCodec(shape)
+    idx = codec.all_indices()
+    us, vs = [], []
+    for axis, n in enumerate(codec.shape):
+        if n < 2:
+            continue
+        nxt = codec.shift(idx, axis, +1, wrap=True)
+        if n == 2:
+            # avoid the duplicate wrap edge
+            coord = codec.axis_coord(idx, axis)
+            keep = coord == 0
+            us.append(idx[keep])
+            vs.append(nxt[keep])
+        else:
+            us.append(idx)
+            vs.append(nxt)
+    if not us:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.stack([np.concatenate(us), np.concatenate(vs)], axis=1)
+
+
+def torus_graph(shape: Sequence[int]) -> CSRGraph:
+    """The ``n_1 x ... x n_d`` torus ``C_{n_1} x ... x C_{n_d}``."""
+    codec = CoordCodec(shape)
+    return CSRGraph(codec.size, torus_edges(shape))
+
+
+def mesh_graph(shape: Sequence[int]) -> CSRGraph:
+    """The ``n_1 x ... x n_d`` mesh ``L_{n_1} x ... x L_{n_d}``."""
+    codec = CoordCodec(shape)
+    idx = codec.all_indices()
+    us, vs = [], []
+    for axis, n in enumerate(codec.shape):
+        if n < 2:
+            continue
+        nxt = codec.shift(idx, axis, +1, wrap=False)
+        keep = nxt >= 0
+        us.append(idx[keep])
+        vs.append(nxt[keep])
+    if not us:
+        return CSRGraph(codec.size, np.empty((0, 2), dtype=np.int64))
+    return CSRGraph(codec.size, np.stack([np.concatenate(us), np.concatenate(vs)], axis=1))

@@ -1,0 +1,28 @@
+"""Shared utilities: cyclic arithmetic, RNG discipline, text tables."""
+
+from repro.util.cyclic import (
+    CyclicWindow,
+    cyclic_dist,
+    cyclic_gap,
+    cyclic_range,
+    in_window,
+    max_free_run,
+    merge_windows,
+    windows_cover,
+)
+from repro.util.rng import spawn_rng, derive_seed
+from repro.util.tables import Table
+
+__all__ = [
+    "CyclicWindow",
+    "cyclic_dist",
+    "cyclic_gap",
+    "cyclic_range",
+    "in_window",
+    "max_free_run",
+    "merge_windows",
+    "windows_cover",
+    "spawn_rng",
+    "derive_seed",
+    "Table",
+]

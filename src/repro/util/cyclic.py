@@ -1,0 +1,167 @@
+"""Cyclic (mod-``period``) interval arithmetic.
+
+The paper works on tori, so every coordinate axis is cyclic.  Band placement
+reasons about *windows* — half-open cyclic intervals ``[start, start+length)``
+on ``Z_period`` — and about gaps and runs between marked positions.  This
+module centralises that arithmetic so that the rest of the code base never
+hand-rolls modular index juggling.
+
+All functions are pure and operate on plain ints / NumPy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CyclicWindow",
+    "cyclic_dist",
+    "cyclic_gap",
+    "cyclic_range",
+    "in_window",
+    "max_free_run",
+    "merge_windows",
+    "windows_cover",
+]
+
+
+def cyclic_dist(a: int, b: int, period: int) -> int:
+    """Shortest cyclic distance between positions ``a`` and ``b``.
+
+    >>> cyclic_dist(1, 9, 10)
+    2
+    """
+    d = (a - b) % period
+    return min(d, period - d)
+
+
+def cyclic_gap(a: int, b: int, period: int) -> int:
+    """Forward gap from ``a`` to ``b``: the unique ``g in [0, period)`` with
+    ``(a + g) % period == b``."""
+    return (b - a) % period
+
+
+def cyclic_range(start: int, length: int, period: int) -> np.ndarray:
+    """The ``length`` consecutive positions starting at ``start`` (mod period)."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return (start + np.arange(length)) % period
+
+
+def in_window(pos: "int | np.ndarray", start: int, length: int, period: int):
+    """Whether ``pos`` lies in the half-open cyclic window [start, start+length).
+
+    Works element-wise on arrays.
+    """
+    return cyclic_gap(start, np.asarray(pos), period) < length  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class CyclicWindow:
+    """A half-open cyclic interval ``[start, start+length) mod period``."""
+
+    start: int
+    length: int
+    period: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.length <= self.period):
+            raise ValueError(f"window length {self.length} out of (0, {self.period}]")
+        object.__setattr__(self, "start", self.start % self.period)
+
+    @property
+    def stop(self) -> int:
+        """One past the last covered position (mod period)."""
+        return (self.start + self.length) % self.period
+
+    def positions(self) -> np.ndarray:
+        return cyclic_range(self.start, self.length, self.period)
+
+    def contains(self, pos: "int | np.ndarray"):
+        return in_window(pos, self.start, self.length, self.period)
+
+    def gap_after(self, other: "CyclicWindow") -> int:
+        """Number of uncovered positions between the end of ``self`` and the
+        start of ``other`` walking forward."""
+        return cyclic_gap(self.stop, other.start, self.period)
+
+    def overlaps(self, other: "CyclicWindow") -> bool:
+        if self.period != other.period:
+            raise ValueError("windows on different periods")
+        return bool(
+            in_window(other.start, self.start, self.length, self.period)
+            or in_window(self.start, other.start, other.length, other.period)
+        )
+
+
+def merge_windows(windows: Sequence[CyclicWindow]) -> list[CyclicWindow]:
+    """Merge overlapping/adjacent cyclic windows into disjoint maximal ones.
+
+    Windows covering the whole circle collapse to a single full window.
+    """
+    if not windows:
+        return []
+    period = windows[0].period
+    if any(w.period != period for w in windows):
+        raise ValueError("windows on different periods")
+    covered = np.zeros(period, dtype=bool)
+    for w in windows:
+        covered[w.positions()] = True
+    if covered.all():
+        return [CyclicWindow(0, period, period)]
+    return _windows_from_mask(covered)
+
+
+def _windows_from_mask(covered: np.ndarray) -> list[CyclicWindow]:
+    """Disjoint maximal cyclic windows of the True positions of ``covered``."""
+    period = len(covered)
+    if not covered.any():
+        return []
+    if covered.all():
+        return [CyclicWindow(0, period, period)]
+    # Rotate so position 0 is uncovered, find plain runs, rotate back.
+    first_free = int(np.flatnonzero(~covered)[0])
+    rot = np.roll(covered, -first_free)
+    padded = np.concatenate([[False], rot, [False]]).astype(np.int8)
+    diffs = np.diff(padded)
+    starts = np.flatnonzero(diffs == 1)
+    stops = np.flatnonzero(diffs == -1)
+    out = []
+    for st, sp in zip(starts, stops):
+        out.append(CyclicWindow((int(st) + first_free) % period, int(sp - st), period))
+    return out
+
+
+def windows_cover(windows: Iterable[CyclicWindow], positions: Iterable[int]) -> bool:
+    """True iff every position is inside at least one window."""
+    ws = list(windows)
+    if not ws:
+        return not list(positions)
+    period = ws[0].period
+    covered = np.zeros(period, dtype=bool)
+    for w in ws:
+        covered[w.positions()] = True
+    pos = np.asarray(list(positions), dtype=int)
+    if pos.size == 0:
+        return True
+    return bool(covered[pos % period].all())
+
+
+def max_free_run(marked: np.ndarray) -> int:
+    """Length of the longest cyclic run of False values in ``marked``.
+
+    Used for the "2b consecutive fault-free rows" healthiness condition.
+    Returns ``len(marked)`` when nothing is marked.
+    """
+    marked = np.asarray(marked, dtype=bool)
+    period = len(marked)
+    if not marked.any():
+        return period
+    idx = np.flatnonzero(marked)
+    # Gap between consecutive marked positions, cyclically; free run between
+    # marks i and i+1 is gap - 1.
+    gaps = np.diff(np.concatenate([idx, [idx[0] + period]])) - 1
+    return int(gaps.max())

@@ -1,0 +1,70 @@
+"""Save / load recoveries and fault sets (``.npz`` based).
+
+A deployed reconfiguration controller wants to persist the current band
+placement and embedding across restarts; experiments want replayable
+artifacts.  Formats are plain ``numpy`` archives with a small metadata
+header — no pickle, no code execution on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bands import BandSet
+from repro.core.params import BnParams
+from repro.core.reconstruction import Recovery
+
+__all__ = ["save_recovery", "load_recovery"]
+
+_FORMAT = "repro-recovery-v1"
+
+
+def save_recovery(path: "str | Path", rec: Recovery, faults: np.ndarray | None = None) -> None:
+    """Persist a ``B`` recovery (params, bands, phi, optional faults)."""
+    p = rec.params
+    meta = {
+        "format": _FORMAT,
+        "params": {"d": p.d, "b": p.b, "s": p.s, "t": p.t},
+        "stats": {k: v for k, v in rec.stats.items() if isinstance(v, (int, float, str))},
+    }
+    arrays = {
+        "bottoms": rec.bands.bottoms,
+        "phi": rec.phi,
+        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+    if faults is not None:
+        arrays["faults"] = faults
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_recovery(path: "str | Path", *, verify: bool = True) -> tuple[Recovery, np.ndarray | None]:
+    """Load a recovery; by default re-validates the band set and (when the
+    fault array was stored) re-verifies the embedding end to end."""
+    with np.load(Path(path)) as z:
+        meta = json.loads(bytes(z["meta"]).decode("utf-8"))
+        if meta.get("format") != _FORMAT:
+            raise ValueError(f"unrecognised archive format {meta.get('format')!r}")
+        params = BnParams(**meta["params"])
+        bands = BandSet(params, z["bottoms"])
+        phi = z["phi"]
+        faults = z["faults"] if "faults" in z.files else None
+    rec = Recovery(params=params, bands=bands, phi=phi, stats=dict(meta.get("stats", {})))
+    if verify:
+        bands.validate(faults)
+        from repro.core.bn_graph import BnGraph
+        from repro.topology.embeddings import verify_torus_embedding
+
+        bn = BnGraph(params)
+        fault_flat = (
+            faults.ravel() if faults is not None else np.zeros(bn.codec.size, dtype=bool)
+        )
+        verify_torus_embedding(
+            (params.n,) * params.d,
+            phi,
+            lambda ids: ~fault_flat[ids],
+            lambda us, vs: bn.is_adjacent(us, vs) & ~fault_flat[us] & ~fault_flat[vs],
+        )
+    return rec, faults

@@ -1,0 +1,65 @@
+"""Minimal text-table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's result tables as monospace
+text (this is a terminal-first reproduction; no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(x: Any, digits: int = 4) -> str:
+    """Compact numeric formatting: ints stay ints, floats get ``digits``."""
+    if isinstance(x, bool):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if isinstance(x, float):
+        if x != x:  # NaN
+            return "-"
+        if x == int(x) and abs(x) < 1e15:
+            return str(int(x))
+        return f"{x:.{digits}g}"
+    return str(x)
+
+
+class Table:
+    """Accumulate rows, render as an aligned monospace table.
+
+    >>> t = Table(["n", "rate"], title="demo")
+    >>> t.add_row([8, 0.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    n | rate
+    --+-----
+    8 | 0.5
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append([format_float(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)).rstrip()
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [header, sep]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        body = "\n".join(lines)
+        return f"{self.title}\n{body}" if self.title else body
+
+    def print(self) -> None:
+        print(self.render(), flush=True)

@@ -1,0 +1,6 @@
+"""ASCII renderings of the paper's two figures (and general band views)."""
+
+from repro.viz.ascii_art import render_bands, render_row_trace
+from repro.viz.figures import figure1, figure2
+
+__all__ = ["render_bands", "render_row_trace", "figure1", "figure2"]

@@ -1,0 +1,77 @@
+"""ASCII renderings of bands, faults and row traces on ``B^2_n``.
+
+Legend:
+    ``.``  unmasked node          ``#``  band-masked node
+    ``X``  fault (masked)         ``!``  fault left unmasked (an error)
+    ``*``  row-trace node         ``/`` and ``\\``  diagonal jumps
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bands import BandSet
+from repro.core.params import BnParams
+
+__all__ = ["render_bands", "render_row_trace"]
+
+
+def render_bands(
+    params: BnParams,
+    bands: BandSet,
+    faults: np.ndarray | None = None,
+    *,
+    max_width: int = 120,
+) -> str:
+    """Text picture of a banded ``B^2`` instance (dim 0 vertical, top = row
+    m-1, matching the paper's Figure 1 orientation)."""
+    if params.d != 2:
+        raise ValueError("rendering is two-dimensional")
+    m, n = params.m, params.n
+    step = max(1, int(np.ceil(n / max_width)))
+    mask = bands.mask()
+    grid = np.full((m, n), ".", dtype="<U1")
+    grid[mask] = "#"
+    if faults is not None:
+        fr, fc = np.nonzero(faults)
+        for r, c in zip(fr, fc):
+            grid[r, c] = "X" if mask[r, c] else "!"
+    lines = []
+    for r in range(m - 1, -1, -1):
+        lines.append("".join(grid[r, ::step]))
+    header = f"B^2_{n}  (m={m}, b={params.b}, bands={bands.num_bands}; col step {step})"
+    return header + "\n" + "\n".join(lines)
+
+
+def render_row_trace(
+    params: BnParams,
+    bands: BandSet,
+    row_hosts: np.ndarray,
+    *,
+    max_width: int = 120,
+) -> str:
+    """Overlay one reconstructed row (host row index per column) on the band
+    picture — the paper's Figure 2."""
+    if params.d != 2:
+        raise ValueError("rendering is two-dimensional")
+    m, n = params.m, params.n
+    mask = bands.mask()
+    grid = np.full((m, n), ".", dtype="<U1")
+    grid[mask] = "#"
+    prev = None
+    for z in range(n):
+        r = int(row_hosts[z])
+        grid[r, z] = "*"
+        if prev is not None and r != prev:
+            grid[prev, z] = "/" if (r - prev) % m == params.b else "\\"
+        prev = r
+    step = max(1, int(np.ceil(n / max_width)))
+    lines = []
+    for r in range(m - 1, -1, -1):
+        lines.append("".join(grid[r, ::step]))
+    jumps = int((np.diff(row_hosts) != 0).sum())
+    header = (
+        f"row trace on B^2_{n}: {jumps} diagonal jumps "
+        f"(* = row node, / up-jump, \\ down-jump)"
+    )
+    return header + "\n" + "\n".join(lines)

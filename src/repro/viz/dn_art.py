@@ -1,0 +1,45 @@
+"""ASCII rendering of D^2_{n,k} recoveries (straight band grid).
+
+Unlike ``B``'s winding bands, ``D``'s bands are straight rows/columns —
+the picture is a grid of masked stripes with faults inside them.  Legend
+as in :mod:`repro.viz.ascii_art` ('#' masked, 'X' masked fault,
+'!' unmasked fault — never present after a successful recovery).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dn import DnRecovery
+
+__all__ = ["render_dn"]
+
+
+def render_dn(
+    rec: DnRecovery, faults: np.ndarray | None = None, *, max_size: int = 100
+) -> str:
+    """Text picture of a 2-D ``D`` recovery (dim 0 vertical, top = last row)."""
+    p = rec.params
+    if p.d != 2:
+        raise ValueError("rendering is two-dimensional")
+    m0, m1 = p.shape
+    masked0 = np.ones(m0, dtype=bool)
+    masked0[rec.unmasked[0]] = False
+    masked1 = np.ones(m1, dtype=bool)
+    masked1[rec.unmasked[1]] = False
+    grid = np.full((m0, m1), ".", dtype="<U1")
+    grid[masked0, :] = "#"
+    grid[:, masked1] = "#"
+    if faults is not None:
+        fr, fc = np.nonzero(faults)
+        for r, c in zip(fr, fc):
+            grid[r, c] = "X" if (masked0[r] or masked1[c]) else "!"
+    step0 = max(1, int(np.ceil(m0 / max_size)))
+    step1 = max(1, int(np.ceil(m1 / max_size)))
+    lines = ["".join(grid[r, ::step1]) for r in range(m0 - 1, -1, -step0)]
+    header = (
+        f"D^2(n={p.n}, k={p.k}): {len(rec.bottoms[0])} row bands (width "
+        f"{p.width(1)}), {len(rec.bottoms[1])} column bands (width {p.width(2)}); "
+        f"steps ({step0},{step1})"
+    )
+    return header + "\n" + "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Regenerate the paper's two figures as data + ASCII.
+
+* **Figure 1** — "Bands on B^2_n": a healthy faulty instance, the paper
+  placement, bands winding around black regions.
+* **Figure 2** — "Obtaining a row from the unmasked part of B^2_8": one
+  reconstructed row crossing bands with diagonal jumps.  (The paper draws a
+  toy ``n = 8``; our exact parameterisation's smallest instance is
+  ``n = 36`` — same structure, more columns.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bn import BTorus
+from repro.core.params import BnParams
+from repro.viz.ascii_art import render_bands, render_row_trace
+
+__all__ = ["figure1", "figure2"]
+
+
+@dataclass
+class Figure:
+    title: str
+    text: str
+    meta: dict
+
+
+def _demo_instance() -> tuple[BTorus, np.ndarray]:
+    params = BnParams(d=2, b=3, s=1, t=2)
+    bt = BTorus(params)
+    faults = np.zeros(params.shape, dtype=bool)
+    faults[20, 20] = True  # a region mid-torus
+    faults[46, 2] = True  # a second region near the wrap
+    return bt, faults
+
+
+def figure1() -> Figure:
+    """Bands on ``B^2_n`` (paper Figure 1)."""
+    bt, faults = _demo_instance()
+    from repro.core.placement import place_paper
+
+    bands = place_paper(bt.params, faults)
+    bands.validate(faults)
+    text = render_bands(bt.params, bands, faults)
+    wandering = int((bands.bottoms != bands.bottoms[:, :1]).any(axis=1).sum())
+    return Figure(
+        title="Figure 1: bands on B^2_n (paper placement around two faults)",
+        text=text,
+        meta={
+            "bands": bands.num_bands,
+            "wandering_bands": wandering,
+            "faults": int(faults.sum()),
+        },
+    )
+
+
+def figure2() -> Figure:
+    """A reconstructed row hopping over bands (paper Figure 2)."""
+    bt, faults = _demo_instance()
+    from repro.core.placement import place_paper
+    from repro.core.reconstruction import extract_torus
+
+    bands = place_paper(bt.params, faults)
+    rec = extract_torus(bt.bn, bands, faults)
+    n = bt.params.n
+    # guest row i=?: pick the row whose trace uses the most jumps
+    phi = rec.phi.reshape(n, n)
+    host_rows = bt.bn.codec.axis_coord(phi, 0)
+    jumps_per_row = (np.diff(host_rows, axis=1) != 0).sum(axis=1)
+    i = int(np.argmax(jumps_per_row))
+    text = render_row_trace(bt.params, bands, host_rows[i])
+    return Figure(
+        title=f"Figure 2: reconstructed row {i} of the fault-free torus",
+        text=text,
+        meta={
+            "row": i,
+            "jumps": int(jumps_per_row[i]),
+            "verified_nodes": rec.stats["nodes"],
+        },
+    )

@@ -1,0 +1,42 @@
+"""Shared fixtures: small-but-real construction parameter sets.
+
+The smallest legal ``B^2`` instance (b=3, s=1, t=2) has 1944 nodes and a
+6x4 tile grid — large enough to exercise every code path (bricks, frames,
+painting, interpolation, wrap-around) while keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import BnParams, DnParams
+
+
+@pytest.fixture(scope="session")
+def bn2_small() -> BnParams:
+    """Smallest legal 2-D B instance: n=36, m=54."""
+    return BnParams(d=2, b=3, s=1, t=2)
+
+
+@pytest.fixture(scope="session")
+def bn2_medium() -> BnParams:
+    """b=4 instance: n=96, m=128 (12288 nodes)."""
+    return BnParams(d=2, b=4, s=1, t=2)
+
+
+@pytest.fixture(scope="session")
+def bn3_small() -> BnParams:
+    """Smallest legal 3-D B instance: n=36, m=54 (69984 nodes)."""
+    return BnParams(d=3, b=3, s=1, t=2)
+
+
+@pytest.fixture(scope="session")
+def dn2_small() -> DnParams:
+    """2-D worst-case instance: n=70, b=2 -> k=8 faults tolerated."""
+    return DnParams(d=2, n=70, b=2)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,68 @@
+"""Tests for adversarial fault campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.adversary import ADVERSARY_PATTERNS, adversarial_node_faults
+from repro.util.rng import spawn_rng
+
+
+@pytest.mark.parametrize("pattern", sorted(ADVERSARY_PATTERNS))
+class TestEveryPattern:
+    def test_exact_count(self, pattern):
+        f = adversarial_node_faults((30, 30), 17, pattern, spawn_rng(0, pattern))
+        assert f.sum() == 17
+
+    def test_shape_and_dtype(self, pattern):
+        f = adversarial_node_faults((12, 9, 8), 5, pattern, spawn_rng(1, pattern))
+        assert f.shape == (12, 9, 8) and f.dtype == bool
+        assert f.sum() == 5
+
+    def test_deterministic(self, pattern):
+        a = adversarial_node_faults((20, 20), 9, pattern, spawn_rng(3, pattern))
+        b = adversarial_node_faults((20, 20), 9, pattern, spawn_rng(3, pattern))
+        assert (a == b).all()
+
+
+class TestPatternShapes:
+    def test_cluster_is_compact(self):
+        f = adversarial_node_faults((40, 40), 16, "cluster", spawn_rng(5))
+        rows, cols = np.nonzero(f)
+        # a 16-fault cluster fits in a small box (cyclic extents <= 4+1 slack)
+        def extent(vals, period):
+            present = np.zeros(period, dtype=bool)
+            present[vals] = True
+            from repro.util.cyclic import max_free_run
+
+            return period - max_free_run(present)
+
+        assert extent(rows, 40) <= 6
+        assert extent(cols, 40) <= 6
+
+    def test_rows_spread_hits_many_rows(self):
+        f = adversarial_node_faults((40, 40), 20, "rows", spawn_rng(6))
+        rows = np.nonzero(f)[0]
+        assert len(np.unique(rows)) >= 15
+
+    def test_cols_spread_hits_many_cols(self):
+        f = adversarial_node_faults((40, 40), 20, "cols", spawn_rng(7))
+        cols = np.nonzero(f)[1]
+        assert len(np.unique(cols)) >= 15
+
+    def test_residue_concentrates_rows(self):
+        f = adversarial_node_faults((60, 60), 24, "residue", spawn_rng(8))
+        rows = np.nonzero(f)[0]
+        # most faults share a residue class mod (k^(1/3)+1 = 3+1... hint default)
+        period = max(2, int(round(24 ** (1 / 3))) + 1)
+        counts = np.bincount(rows % period, minlength=period)
+        assert counts.max() >= 0.7 * 24
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError):
+            adversarial_node_faults((10, 10), 3, "nope", spawn_rng(0))
+
+    def test_k_larger_than_grid_clips(self):
+        f = adversarial_node_faults((4, 4), 100, "random", spawn_rng(0))
+        assert f.sum() == 16

@@ -1,0 +1,109 @@
+"""Tests for the Alon–Chung baseline (Theorem 12, Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.alon_chung import AlonChungMesh, AlonChungPath, deep_dfs_path
+from repro.baselines.expander import gabber_galil_expander
+from repro.errors import ReconstructionError
+from repro.util.rng import spawn_rng
+
+
+class TestDeepDFS:
+    def test_full_graph_path_is_long(self):
+        g = gabber_galil_expander(8)
+        alive = np.ones(g.num_nodes, dtype=bool)
+        path = deep_dfs_path(g, alive)
+        assert len(path) >= g.num_nodes // 2
+
+    def test_path_is_simple_and_valid(self):
+        g = gabber_galil_expander(8)
+        alive = np.ones(g.num_nodes, dtype=bool)
+        path = deep_dfs_path(g, alive)
+        assert len(np.unique(path)) == len(path)
+        assert g.has_edges(path[:-1], path[1:]).all()
+
+    def test_empty_when_all_dead(self):
+        g = gabber_galil_expander(5)
+        assert len(deep_dfs_path(g, np.zeros(g.num_nodes, dtype=bool))) == 0
+
+
+class TestAlonChungPath:
+    def test_no_faults(self):
+        ac = AlonChungPath(50, blowup=2.0)
+        rec = ac.recover(np.zeros(ac.num_nodes, dtype=bool))
+        assert len(rec.path) == 50
+
+    def test_random_linear_faults(self):
+        ac = AlonChungPath(60, blowup=3.0)
+        rng = spawn_rng(0, "ac")
+        wins = 0
+        for seed in range(5):
+            faulty = spawn_rng(seed, "ac-f").random(ac.num_nodes) < 0.15
+            wins += ac.survives(faulty, rng=spawn_rng(seed, "ac-d"))
+        assert wins >= 4
+
+    def test_adversarial_fraction(self):
+        # kill an eighth of the nodes adversarially (lowest-degree-first
+        # stand-in: first ids) — expander still has a long path
+        ac = AlonChungPath(50, blowup=3.0)
+        faulty = np.zeros(ac.num_nodes, dtype=bool)
+        faulty[: ac.num_nodes // 8] = True
+        assert ac.survives(faulty)
+
+    def test_too_many_faults_raise(self):
+        ac = AlonChungPath(50, blowup=2.0)
+        faulty = np.ones(ac.num_nodes, dtype=bool)
+        faulty[:10] = False
+        with pytest.raises(ReconstructionError):
+            ac.recover(faulty)
+
+    def test_random_regular_backend(self):
+        ac = AlonChungPath(40, blowup=2.5, kind="random-regular", degree=6, rng=spawn_rng(2))
+        rec = ac.recover(np.zeros(ac.num_nodes, dtype=bool))
+        assert len(rec.path) == 40
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            AlonChungPath(10, kind="nope")
+
+
+class TestAlonChungMesh:
+    def test_2d_mesh_recovery(self):
+        acm = AlonChungMesh(12, 2, blowup=3.0)
+        faulty = np.zeros(acm.num_nodes, dtype=bool)
+        # kill a handful of scattered nodes (each kills one supernode)
+        rng = spawn_rng(3)
+        faulty[rng.choice(acm.num_nodes, size=8, replace=False)] = True
+        phi = acm.recover(faulty)
+        assert len(phi) == 12 ** 2
+        assert not faulty[phi].any()
+
+    def test_mesh_edges_exist(self):
+        """Verify the product-structure embedding edge-by-edge."""
+        from repro.topology.embeddings import verify_mesh_embedding
+
+        acm = AlonChungMesh(8, 2, blowup=3.0)
+        faulty = np.zeros(acm.num_nodes, dtype=bool)
+        phi = acm.recover(faulty)
+        host = acm.path_host.graph
+        sup = acm.super_size
+
+        def node_ok(ids):
+            return ~faulty[np.asarray(ids)]
+
+        def edge_ok(us, vs):
+            us, vs = np.asarray(us), np.asarray(vs)
+            su, sv = us // sup, vs // sup
+            ru, rv = us % sup, vs % sup
+            same_super = (su == sv) & (np.abs(ru - rv) == 1)  # (L_n)^{d-1} edge, d=2
+            cross = (ru == rv) & host.has_edges(su, sv)
+            return same_super | cross
+
+        verify_mesh_embedding((8, 8), phi, node_ok, edge_ok)
+
+    def test_tolerates_wrapper(self):
+        acm = AlonChungMesh(10, 2, blowup=3.0)
+        assert acm.tolerates(np.zeros(acm.num_nodes, dtype=bool))

@@ -1,0 +1,140 @@
+"""Tests for the A^2_n construction (Theorem 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.an import ATorus, an_params_for, an_params_for_reliability
+from repro.core.params import BnParams
+from repro.errors import ReconstructionError
+
+
+@pytest.fixture(scope="module")
+def ap(bn2_small):
+    return an_params_for_reliability(bn2_small, k_sub=2, p=0.3, q=0.0)
+
+
+@pytest.fixture(scope="module")
+def at(ap):
+    return ATorus(ap)
+
+
+class TestParamsHelpers:
+    def test_overhead_helper(self, bn2_small):
+        ap = an_params_for(bn2_small, k_sub=2, c=3.0)
+        assert ap.c_effective == pytest.approx(3.0, rel=0.15)
+
+    def test_reliability_helper_meets_threshold(self, bn2_small):
+        ap = an_params_for_reliability(bn2_small, k_sub=2, p=0.3, q=0.0)
+        # expected good nodes comfortably above k^2
+        assert (1 - 0.3) * ap.h > ap.k_sub ** 2
+
+    def test_reliability_helper_rejects_infeasible_q(self, bn2_small):
+        with pytest.raises(ValueError, match="inequality"):
+            an_params_for_reliability(bn2_small, k_sub=2, p=0.2, q=0.01)
+
+    def test_degree_is_loglog_scale(self, bn2_small):
+        """Degree grows with h = Theta(k^2) = Theta(log log n) while the
+        host degree stays constant — the paper's headline tradeoff."""
+        ap = an_params_for_reliability(bn2_small, k_sub=2, p=0.3, q=0.0)
+        assert ap.degree == (ap.h - 1) + bn2_small.degree * ap.h
+
+
+class TestGoodNodes:
+    def test_q_zero_good_is_nonfaulty(self, at):
+        state = at.sample_faults(p=0.3, q=0.0, seed=0)
+        good = at.good_nodes(state)
+        assert (good == ~state.node_faults).all()
+
+    def test_good_supernode_threshold(self, at, ap):
+        state = at.sample_faults(p=0.3, q=0.0, seed=0)
+        good = at.good_nodes(state)
+        sup = at.good_supernodes(good, 0.0)
+        counts = good.sum(axis=1)
+        assert ((counts >= ap.k_sub ** 2) == sup).all()
+
+    def test_q_positive_good_subset(self, at):
+        state = at.sample_faults(p=0.2, q=0.002, seed=1)
+        good_q = at.good_nodes(state)
+        assert (good_q <= ~state.node_faults).all()  # good => non-faulty
+
+
+class TestRecovery:
+    def test_recovers_at_constant_p(self, at):
+        state = at.sample_faults(p=0.3, q=0.0, seed=2)
+        rec = at.recover(state)
+        assert rec.stats["nodes"] == at.params.n ** 2
+        assert rec.stats["edges_checked"] == 2 * at.params.n ** 2
+
+    def test_phi_avoids_faulty_nodes(self, at):
+        state = at.sample_faults(p=0.3, q=0.0, seed=3)
+        rec = at.recover(state)
+        assert not state.node_faults.ravel()[rec.phi].any()
+
+    def test_each_submesh_in_one_supernode(self, at, ap):
+        state = at.sample_faults(p=0.3, q=0.0, seed=4)
+        rec = at.recover(state)
+        n, k, h = ap.n, ap.k_sub, ap.h
+        supers = (rec.phi // h).reshape(n, n)
+        for bx in range(n // k):
+            for by in range(n // k):
+                block = supers[bx * k : (bx + 1) * k, by * k : (by + 1) * k]
+                assert len(np.unique(block)) == 1
+
+    def test_with_edge_faults(self, bn2_small):
+        ap = an_params_for_reliability(bn2_small, k_sub=2, p=0.2, q=0.002)
+        at = ATorus(ap)
+        state = at.sample_faults(p=0.2, q=0.002, seed=5)
+        rec = at.recover(state)
+        assert rec.stats["nodes"] == ap.n ** 2
+
+    def test_all_faulty_raises(self, at):
+        state = at.sample_faults(p=1.0, q=0.0, seed=6)
+        with pytest.raises(ReconstructionError):
+            at.recover(state)
+
+    def test_survives_wrapper(self, at):
+        assert at.survives(p=0.0, q=0.0, seed=7)
+        assert not at.survives(p=1.0, q=0.0, seed=7)
+
+
+class TestClaims:
+    def test_node_count_linear(self, ap):
+        """Theorem 1(1): cn^2 nodes for a constant c."""
+        assert ap.num_nodes == ap.c_effective * ap.n ** 2
+
+    def test_survival_rate_at_constant_p(self, at):
+        wins = sum(at.survives(p=0.3, q=0.0, seed=s) for s in range(8))
+        assert wins >= 7
+
+
+class TestGeneralDimension:
+    """The paper: "A proof for the general constant d can be obtained by
+    simply changing some constants" — exercised at d = 3."""
+
+    def test_a3_end_to_end(self):
+        base = BnParams(d=3, b=3, s=1, t=2)
+        ap = an_params_for_reliability(base, k_sub=1, p=0.3, q=0.0)
+        at = ATorus(ap)
+        rec = at.recover(at.sample_faults(0.3, 0.0, seed=0))
+        assert rec.stats["nodes"] == ap.n ** 3
+        assert rec.stats["edges_checked"] == 3 * ap.n ** 3
+
+    def test_a3_threshold_uses_k_cubed(self):
+        base = BnParams(d=3, b=3, s=1, t=2)
+        ap = an_params_for_reliability(base, k_sub=2, p=0.2, q=0.0)
+        assert ap.good_node_threshold(0.0) == 8
+        assert ap.h > 8
+
+    def test_a3_submesh_blocks(self):
+        base = BnParams(d=3, b=3, s=1, t=2)
+        ap = an_params_for_reliability(base, k_sub=2, p=0.1, q=0.0)
+        at = ATorus(ap)
+        rec = at.recover(at.sample_faults(0.1, 0.0, seed=1))
+        n, k, h = ap.n, ap.k_sub, ap.h
+        supers = (rec.phi // h).reshape(n, n, n)
+        block = supers[:k, :k, :k]
+        assert len(np.unique(block)) == 1

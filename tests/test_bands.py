@@ -1,0 +1,110 @@
+"""Tests for bands and band-set validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bands import Band, BandSet
+from repro.errors import BandPlacementError
+
+
+def straight_set(params, offset=0):
+    K = params.num_bands
+    spacing = params.m // K
+    return BandSet.straight(params, np.arange(K) * spacing + offset)
+
+
+class TestBandMasking:
+    def test_band_masks_window(self, bn2_small):
+        p = bn2_small
+        band = Band(np.full(p.n, 10, dtype=np.int64), p.b, p.m)
+        rows = np.array([9, 10, 12, 13])
+        cols = np.zeros(4, dtype=np.int64)
+        assert band.masks(rows, cols).tolist() == [False, True, True, False]
+
+    def test_band_masks_wraps(self, bn2_small):
+        p = bn2_small
+        band = Band(np.full(p.n, p.m - 1, dtype=np.int64), p.b, p.m)
+        assert band.masks(np.array([p.m - 1, 0, 1, 2]), np.zeros(4, dtype=int)).tolist() == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+
+class TestBandSetValidation:
+    def test_valid_straight_set(self, bn2_small):
+        bs = straight_set(bn2_small)
+        bs.validate()  # no faults
+
+    def test_wrong_count(self, bn2_small):
+        p = bn2_small
+        bs = BandSet.straight(p, np.array([0]))
+        with pytest.raises(BandPlacementError, match="band count"):
+            bs.validate()
+
+    def test_untouching_violation(self, bn2_small):
+        p = bn2_small
+        bottoms = np.arange(p.num_bands) * (p.m // p.num_bands)
+        bottoms[1] = bottoms[0] + p.b  # gap b < b+1
+        bs = BandSet.straight(p, bottoms)
+        with pytest.raises(BandPlacementError, match="untouching"):
+            bs.validate()
+
+    def test_slope_violation(self, bn2_small):
+        p = bn2_small
+        bs = straight_set(p)
+        bottoms = bs.bottoms.copy()
+        bottoms[0, 3] += 2  # jump of 2 between adjacent columns
+        with pytest.raises(BandPlacementError, match="slope"):
+            BandSet(p, bottoms).validate()
+
+    def test_slope_wraparound_checked(self, bn2_small):
+        p = bn2_small
+        bs = straight_set(p)
+        bottoms = bs.bottoms.copy()
+        # ramp 0..n-1 breaks only at the wrap edge
+        bottoms[0] = (bottoms[0, 0] + np.minimum(np.arange(p.n), 5)) % p.m
+        bottoms[0, -1] = bottoms[0, 0] + 5
+        with pytest.raises(BandPlacementError, match="slope"):
+            BandSet(p, bottoms).validate()
+
+    def test_coverage(self, bn2_small):
+        p = bn2_small
+        bs = straight_set(p)
+        faults = np.zeros(p.shape, dtype=bool)
+        faults[int(bs.bottoms[0, 0]) + 1, 5] = True  # masked
+        bs.validate(faults)
+        faults2 = np.zeros(p.shape, dtype=bool)
+        unmasked_row = int(bs.unmasked_rows(0)[0])
+        faults2[unmasked_row, 0] = True
+        with pytest.raises(BandPlacementError, match="unmasked"):
+            bs.validate(faults2)
+
+
+class TestMaskAccounting:
+    def test_unmasked_rows_count_is_n(self, bn2_small):
+        p = bn2_small
+        bs = straight_set(p)
+        for col in (0, 1, p.n - 1):
+            assert len(bs.unmasked_rows(col)) == p.n
+
+    def test_mask_total(self, bn2_small):
+        p = bn2_small
+        bs = straight_set(p)
+        mask = bs.mask()
+        assert mask.shape == p.shape
+        assert mask.sum() == (p.m - p.n) * p.n ** (p.d - 1)
+
+    def test_mask_consistent_with_unmasked_rows(self, bn2_small):
+        p = bn2_small
+        bs = straight_set(p, offset=7)
+        mask = bs.mask()
+        um = np.flatnonzero(~mask[:, 3])
+        assert (um == bs.unmasked_rows(3)).all()
+
+    def test_wrong_bottoms_shape(self, bn2_small):
+        with pytest.raises(ValueError):
+            BandSet(bn2_small, np.zeros((2, 3), dtype=np.int64))

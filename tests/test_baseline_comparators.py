@@ -1,0 +1,109 @@
+"""Tests for replication, spare-rows and BCH comparators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bch import (
+    bch_mesh_degree,
+    bch_mesh_nodes,
+    bch_tolerated_for_linear_redundancy,
+    tamaki_tolerated_for_linear_redundancy,
+)
+from repro.baselines.replication import ReplicatedTorus
+from repro.baselines.sparerows import SpareRowsTorus
+from repro.errors import ReconstructionError
+from repro.util.rng import spawn_rng
+
+
+class TestReplicatedTorus:
+    def test_degree_is_log_scale(self):
+        rt = ReplicatedTorus(64, 2, c_r=1.0)
+        assert rt.r == 6  # log2(64)
+        assert rt.degree == (6 - 1) + 4 * 6
+
+    def test_survival_probability_exact(self):
+        rt = ReplicatedTorus(8, 2, replication=3)
+        p = 0.3
+        expect = (1 - p ** 3) ** 64
+        assert rt.survival_probability(p) == pytest.approx(expect)
+
+    def test_recover_picks_good_nodes(self):
+        rt = ReplicatedTorus(8, 2, replication=4)
+        faults = rt.sample_faults(0.3, seed=0)
+        try:
+            rec = rt.recover(faults)
+        except ReconstructionError:
+            pytest.skip("unlucky cluster wipe")
+        assert not faults.ravel()[rec.phi].any()
+
+    def test_dead_cluster_raises(self):
+        rt = ReplicatedTorus(4, 2, replication=2)
+        faults = np.zeros((16, 2), dtype=bool)
+        faults[5] = True
+        with pytest.raises(ReconstructionError):
+            rt.recover(faults)
+
+    def test_monte_carlo_matches_closed_form(self):
+        rt = ReplicatedTorus(8, 2, replication=3)
+        p = 0.25
+        wins = sum(rt.survives(p, seed) for seed in range(200))
+        expect = rt.survival_probability(p)
+        assert abs(wins / 200 - expect) < 0.1
+
+    def test_replication_for_target(self):
+        rt = ReplicatedTorus(16, 2)
+        r = rt.replication_for_target(0.3, 1e-3)
+        assert 1 - (1 - 0.3 ** r) ** rt.num_clusters <= 1e-3
+
+
+class TestSpareRows:
+    def test_tolerates_sigma_faults(self):
+        sr = SpareRowsTorus(20, sigma=5)
+        faults = np.zeros((25, 20), dtype=bool)
+        rng = spawn_rng(0)
+        rows = rng.choice(25, size=5, replace=False)
+        for r in rows:
+            faults[r, rng.integers(0, 20)] = True
+        rec = sr.recover(faults)
+        assert not faults.ravel()[rec.phi].any()
+        assert rec.stats["dropped_rows"] == 5
+
+    def test_fails_beyond_sigma(self):
+        sr = SpareRowsTorus(20, sigma=3)
+        faults = np.zeros((23, 20), dtype=bool)
+        for r in range(4):
+            faults[r * 5, 0] = True
+        assert not sr.tolerates(faults)
+
+    def test_degree_grows_linearly(self):
+        assert SpareRowsTorus(20, sigma=3).degree == 10
+        assert SpareRowsTorus(20, sigma=6).degree == 16
+
+    def test_multiple_faults_one_row_cost_one(self):
+        sr = SpareRowsTorus(10, sigma=1)
+        faults = np.zeros((11, 10), dtype=bool)
+        faults[4, :] = True  # a whole faulty row = 10 faults, 1 row
+        rec = sr.recover(faults)
+        assert rec.stats["dropped_rows"] == 1
+
+
+class TestBCHFormulas:
+    def test_nodes_formula(self):
+        assert bch_mesh_nodes(10, 2) == 108
+
+    def test_degree_constant(self):
+        assert bch_mesh_degree() == 13
+
+    def test_crossover_claim(self):
+        """Section 1: with linear redundancy, BCH tolerates O(n^{2/3}),
+        Tamaki O(n^{3/4}) — Tamaki must win for all large n."""
+        for n in (10 ** 3, 10 ** 4, 10 ** 5):
+            assert tamaki_tolerated_for_linear_redundancy(n) > bch_tolerated_for_linear_redundancy(n)
+
+    def test_bch_wins_small_k_overhead(self):
+        """BCH's n^2 + k^3 beats any fixed-eps linear blowup for small k."""
+        n, k = 100, 3
+        tamaki_nodes = 1.33 * n * n
+        assert bch_mesh_nodes(n, k) < tamaki_nodes

@@ -1,0 +1,148 @@
+"""Tests for block decomposition and pigeonhole segments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import (
+    _pad_stack,
+    build_region_stacks,
+    region_fault_rows,
+    segments_for_block,
+    split_blocks,
+)
+from repro.core.painting import paint_tiles
+from repro.core.params import BnParams
+from repro.errors import BandPlacementError
+from repro.topology.grid import TileGeometry
+
+
+class TestSplitBlocks:
+    def test_empty(self):
+        assert split_blocks(np.array([], dtype=int), 3, 54) == []
+
+    def test_single_row(self):
+        blocks = split_blocks(np.array([10]), 3, 54)
+        assert len(blocks) == 1 and blocks[0].tolist() == [10]
+
+    def test_split_on_2b_gap(self):
+        # gap between 10 and 17 is 6 = 2b -> split
+        blocks = split_blocks(np.array([10, 17]), 3, 54)
+        assert len(blocks) == 2
+
+    def test_no_split_below_2b(self):
+        blocks = split_blocks(np.array([10, 15]), 3, 54)
+        assert len(blocks) == 1
+
+    def test_wraparound_cluster(self):
+        # rows 52 and 1 are 2 apart cyclically (m=54): one block, unwrapped
+        blocks = split_blocks(np.array([1, 52]), 3, 54)
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert block[-1] - block[0] == 3
+
+
+class TestSegmentsForBlock:
+    def test_single_fault_single_segment(self):
+        p = BnParams(d=2, b=3, s=1, t=2)
+        segs = segments_for_block(np.array([10]), p)
+        assert len(segs) == 1
+        bot = segs[0] % p.m
+        assert (10 - bot) % p.m < p.b  # covers the fault
+
+    def test_cluster_coverable_by_one(self):
+        p = BnParams(d=2, b=3, s=1, t=2)
+        segs = segments_for_block(np.array([10, 11, 12]), p)
+        # 3 = b consecutive faults always fit one width-b segment
+        assert len(segs) == 1
+
+    def test_segments_cover_and_untouch(self):
+        p = BnParams(d=2, b=5, s=2, t=2)
+        block = np.array([100, 103, 110, 113])
+        segs = segments_for_block(block, p)
+        for r in block:
+            assert any((r - s_) % p.m < p.b for s_ in segs)
+        segs_sorted = sorted(s_ % p.m for s_ in segs)
+        for a, b_ in zip(segs_sorted, segs_sorted[1:]):
+            assert b_ - a >= p.b + 1
+
+    def test_too_tall_block_rejected(self):
+        p = BnParams(d=2, b=3, s=1, t=2)
+        with pytest.raises(BandPlacementError, match="spans"):
+            segments_for_block(np.array([0, 2 * p.tile + 5]), p)
+
+    def test_all_residues_hit_rejected(self):
+        p = BnParams(d=2, b=3, s=1, t=2)
+        # b+1 = 4 faults hitting all residues mod 4
+        with pytest.raises(BandPlacementError):
+            segments_for_block(np.array([0, 1, 2, 3]), p)
+
+
+class TestPadStack:
+    def test_pads_empty(self):
+        out, prev = _pad_stack([], 2, 0, 8, None, 3)
+        assert out == [0, 4]
+        assert prev == 4
+
+    def test_respects_prev(self):
+        out, _ = _pad_stack([], 1, 9, 17, 7, 3)
+        assert out == [11]  # prev 7 + b+1
+
+    def test_keeps_existing(self):
+        out, _ = _pad_stack([5], 2, 0, 8, None, 3)
+        assert 5 in out and len(out) == 2
+        assert sorted(out) == out
+        diffs = np.diff(sorted(out))
+        assert (diffs >= 4).all()
+
+    def test_existing_first_when_tight(self):
+        # existing at 2, low bound 0: gap < b+1 so existing must be taken first
+        out, _ = _pad_stack([2], 2, 0, 8, None, 3)
+        assert out[0] == 2
+
+    def test_infeasible_raises(self):
+        with pytest.raises(BandPlacementError):
+            _pad_stack([], 3, 0, 5, None, 3)  # needs 3*(b+1) > 6 rows
+
+    def test_existing_conflict_raises(self):
+        with pytest.raises(BandPlacementError):
+            _pad_stack([0], 1, 0, 8, -2, 3)  # prev forces low=2 > existing 0
+
+
+class TestBuildRegionStacks:
+    def _setup(self, params, fault_coords):
+        faults = np.zeros(params.shape, dtype=bool)
+        for c in fault_coords:
+            faults[c] = True
+        geo = TileGeometry(params.shape, params.b)
+        paint = paint_tiles(params, faults, geo)
+        return faults, geo, paint
+
+    def test_single_fault_stacks(self, bn2_small):
+        p = bn2_small
+        faults, geo, paint = self._setup(p, [(20, 20)])
+        region = paint.regions[0]
+        stacks = build_region_stacks(region, faults, p, geo)
+        # every strip of the region gets exactly s = 1 bottoms in [0, b^2)
+        assert set(stacks.local) == {
+            (region.strip_start + i) % p.tile_rows for i in range(region.strip_count)
+        }
+        for v in stacks.local.values():
+            assert len(v) == p.s
+            assert (0 <= v).all() and (v < p.tile).all()
+
+    def test_fault_is_covered_by_its_strip_stack(self, bn2_small):
+        p = bn2_small
+        faults, geo, paint = self._setup(p, [(20, 20)])
+        stacks = build_region_stacks(paint.regions[0], faults, p, geo)
+        strip = 20 // p.tile
+        local = stacks.local[strip]
+        bottoms = strip * p.tile + local
+        assert any((20 - bo) % p.m < p.b for bo in bottoms)
+
+    def test_region_fault_rows(self, bn2_small):
+        p = bn2_small
+        faults, geo, paint = self._setup(p, [(20, 20), (22, 21)])
+        rows = region_fault_rows(paint.regions[0], faults, geo)
+        assert rows.tolist() == [20, 22]

@@ -1,0 +1,68 @@
+"""Theorem 2 with explicit edge faults (the paper's reduction, verified)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bn import BTorus
+from repro.errors import ReconstructionError
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def bt(bn2_small):
+    return BTorus(bn2_small)
+
+
+class TestSampling:
+    def test_rate(self, bt):
+        fe = bt.sample_edge_faults(0.05, spawn_rng(0))
+        total = bt.bn.graph().num_edges
+        assert abs(len(fe) / total - 0.05) < 0.02
+
+    def test_zero_q_empty(self, bt):
+        assert len(bt.sample_edge_faults(0.0, spawn_rng(0))) == 0
+
+
+class TestRecoveryWithEdgeFaults:
+    def test_embedding_avoids_faulty_edges(self, bt, bn2_small):
+        rng = spawn_rng(1, "bef")
+        faults = np.zeros(bn2_small.shape, dtype=bool)
+        fe = bt.sample_edge_faults(3e-4, rng)
+        if len(fe) == 0:
+            fe = bt.bn.graph().edges()[:2]
+        rec = bt.recover(faults, faulty_edges=fe)
+        # double-check by hand: no guest edge maps onto a listed faulty edge
+        n_nodes = bt.bn.num_nodes
+        bad = set(
+            (min(int(a), int(b)), max(int(a), int(b))) for a, b in fe
+        )
+        from repro.topology.coords import CoordCodec
+
+        gc = CoordCodec(rec.guest_shape())
+        idx = gc.all_indices()
+        for axis in range(bn2_small.d):
+            us = rec.phi[idx]
+            vs = rec.phi[gc.shift(idx, axis, +1, wrap=True)]
+            for a, b in zip(us.tolist(), vs.tolist()):
+                assert (min(a, b), max(a, b)) not in bad
+
+    def test_blamed_endpoint_excluded(self, bt, bn2_small):
+        # fault exactly one edge; its first endpoint must leave the image
+        edge = bt.bn.graph().edges()[100:101]
+        rec = bt.recover(np.zeros(bn2_small.shape, dtype=bool), faulty_edges=edge)
+        assert int(edge[0, 0]) not in set(rec.phi.tolist())
+
+    def test_node_and_edge_faults_combined(self, bt, bn2_small):
+        faults = np.zeros(bn2_small.shape, dtype=bool)
+        faults[20, 20] = True
+        edge = bt.bn.graph().edges()[5000:5002]
+        rec = bt.recover(faults, faulty_edges=edge)
+        assert not faults.ravel()[rec.phi].any()
+
+    def test_many_edge_faults_fail_gracefully(self, bt, bn2_small):
+        edges = bt.bn.graph().edges()
+        fe = edges[spawn_rng(2).random(len(edges)) < 0.2]
+        with pytest.raises(ReconstructionError):
+            bt.recover(np.zeros(bn2_small.shape, dtype=bool), faulty_edges=fe)

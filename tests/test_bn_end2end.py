@@ -1,0 +1,110 @@
+"""End-to-end tests of Theorem 2's construction + recovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BnParams, BTorus
+from repro.errors import ReconstructionError
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture(scope="module")
+def bt(bn2_small):
+    return BTorus(bn2_small)
+
+
+class TestRecoverAPI:
+    def test_fault_free(self, bt, bn2_small):
+        rec = bt.recover(np.zeros(bn2_small.shape, dtype=bool))
+        assert rec.stats["nodes"] == bn2_small.n ** 2
+
+    def test_survives_wrapper(self, bt, bn2_small):
+        assert bt.survives(np.zeros(bn2_small.shape, dtype=bool))
+
+    def test_recovery_phi_avoids_faults(self, bt, bn2_small):
+        rng = spawn_rng(3, "e2e")
+        faults = bt.sample_faults(bn2_small.paper_fault_probability, rng)
+        try:
+            rec = bt.recover(faults)
+        except ReconstructionError:
+            pytest.skip("unlucky draw (tiny instance)")
+        assert not faults.ravel()[rec.phi].any()
+
+    def test_impossible_instance_raises_categorised(self, bt, bn2_small):
+        faults = np.ones(bn2_small.shape, dtype=bool)
+        with pytest.raises(ReconstructionError) as ei:
+            bt.recover(faults)
+        assert ei.value.category != "unspecified"
+
+
+class TestTrial:
+    def test_trial_reproducible(self, bt, bn2_small):
+        p = bn2_small.paper_fault_probability
+        a = bt.trial(p, seed=11)
+        b = bt.trial(p, seed=11)
+        assert a.success == b.success and a.num_faults == b.num_faults
+
+    def test_trial_categories(self, bt):
+        out = bt.trial(0.0, seed=0)
+        assert out.success and out.category == "ok"
+        out_bad = bt.trial(1.0, seed=0)
+        assert not out_bad.success and out_bad.category != "ok"
+
+    def test_trial_health_flag(self, bt, bn2_small):
+        out = bt.trial(bn2_small.paper_fault_probability, seed=1, check_health=True)
+        assert out.health is not None
+        assert out.healthy in (True, False)
+
+    def test_keep_recovery(self, bt):
+        out = bt.trial(0.0, seed=0, keep_recovery=True)
+        assert out.recovery is not None
+
+    def test_strategy_used_reported(self, bt):
+        out = bt.trial(0.0, seed=0)
+        assert out.strategy_used == "straight"
+
+
+class TestSurvivalRegime:
+    def test_paper_regime_mostly_survives(self, bt, bn2_small):
+        """Theorem 2's whp claim, at laptop scale: survival >= 80% at
+        p = b^{-3d} even on the smallest instance."""
+        p = bn2_small.paper_fault_probability
+        wins = sum(bt.trial(p, seed=s).success for s in range(25))
+        assert wins >= 20
+
+    def test_lower_p_survives_more(self, bt, bn2_small):
+        p = bn2_small.paper_fault_probability
+        lo = sum(bt.trial(p / 8, seed=s).success for s in range(15))
+        hi = sum(bt.trial(min(40 * p, 0.9), seed=s).success for s in range(15))
+        assert lo >= hi
+
+    def test_edge_fault_folding_path(self, bt, bn2_small):
+        out = bt.trial(bn2_small.paper_fault_probability, seed=2, q=1e-4)
+        assert out.category in {"ok"} | {
+            "unhealthy",
+            "no-frame",
+            "region-overflow",
+            "block-overflow",
+            "segment-overflow",
+            "padding",
+            "coverage",
+            "band-invalid",
+            "capacity",
+            "embedding",
+        }
+
+
+class TestThreeDimensional:
+    def test_3d_end_to_end(self, bn3_small):
+        bt3 = BTorus(bn3_small)
+        out = bt3.trial(bn3_small.paper_fault_probability, seed=0)
+        assert out.success
+
+    def test_3d_with_explicit_fault(self, bn3_small):
+        bt3 = BTorus(bn3_small)
+        faults = np.zeros(bn3_small.shape, dtype=bool)
+        faults[10, 10, 10] = True
+        rec = bt3.recover(faults)
+        assert rec.stats["nodes"] == bn3_small.n ** 3

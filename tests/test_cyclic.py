@@ -1,0 +1,160 @@
+"""Unit + property tests for cyclic interval arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.cyclic import (
+    CyclicWindow,
+    cyclic_dist,
+    cyclic_gap,
+    cyclic_range,
+    in_window,
+    max_free_run,
+    merge_windows,
+    windows_cover,
+)
+
+
+class TestScalarOps:
+    def test_dist_symmetry(self):
+        assert cyclic_dist(1, 9, 10) == 2
+        assert cyclic_dist(9, 1, 10) == 2
+
+    def test_dist_zero(self):
+        assert cyclic_dist(5, 5, 7) == 0
+
+    def test_gap_directional(self):
+        assert cyclic_gap(8, 2, 10) == 4
+        assert cyclic_gap(2, 8, 10) == 6
+
+    def test_range_wraps(self):
+        assert cyclic_range(8, 4, 10).tolist() == [8, 9, 0, 1]
+
+    def test_range_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            cyclic_range(0, -1, 10)
+
+    def test_in_window_scalar_and_array(self):
+        assert in_window(9, 8, 3, 10)
+        assert in_window(0, 8, 3, 10)
+        assert not in_window(1, 8, 3, 10)
+        out = in_window(np.array([7, 8, 0, 1]), 8, 3, 10)
+        assert out.tolist() == [False, True, True, False]
+
+
+class TestCyclicWindow:
+    def test_positions_and_stop(self):
+        w = CyclicWindow(8, 4, 10)
+        assert w.stop == 2
+        assert w.positions().tolist() == [8, 9, 0, 1]
+
+    def test_contains(self):
+        w = CyclicWindow(8, 4, 10)
+        assert w.contains(9) and w.contains(1) and not w.contains(2)
+
+    def test_normalises_start(self):
+        assert CyclicWindow(13, 2, 10).start == 3
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            CyclicWindow(0, 0, 10)
+        with pytest.raises(ValueError):
+            CyclicWindow(0, 11, 10)
+
+    def test_overlaps(self):
+        a = CyclicWindow(8, 4, 10)
+        assert a.overlaps(CyclicWindow(1, 2, 10))
+        assert not a.overlaps(CyclicWindow(2, 3, 10))
+
+    def test_gap_after(self):
+        a = CyclicWindow(0, 3, 10)
+        b = CyclicWindow(5, 2, 10)
+        assert a.gap_after(b) == 2
+
+
+class TestMergeAndCover:
+    def test_merge_adjacent(self):
+        ws = [CyclicWindow(0, 3, 10), CyclicWindow(3, 2, 10)]
+        merged = merge_windows(ws)
+        assert len(merged) == 1
+        assert merged[0].start == 0 and merged[0].length == 5
+
+    def test_merge_wrap(self):
+        ws = [CyclicWindow(8, 3, 10), CyclicWindow(1, 2, 10)]
+        merged = merge_windows(ws)
+        assert len(merged) == 1
+        assert merged[0].start == 8 and merged[0].length == 5
+
+    def test_merge_full_circle(self):
+        ws = [CyclicWindow(0, 6, 10), CyclicWindow(5, 6, 10)]
+        merged = merge_windows(ws)
+        assert merged[0].length == 10
+
+    def test_cover(self):
+        ws = [CyclicWindow(8, 3, 10)]
+        assert windows_cover(ws, [8, 9, 0])
+        assert not windows_cover(ws, [1])
+
+    def test_cover_empty(self):
+        assert windows_cover([], [])
+
+
+class TestMaxFreeRun:
+    def test_no_marks(self):
+        assert max_free_run(np.zeros(7, dtype=bool)) == 7
+
+    def test_all_marked(self):
+        assert max_free_run(np.ones(5, dtype=bool)) == 0
+
+    def test_wraparound_run(self):
+        marked = np.array([False, False, True, False, False, False])
+        # free run wraps: positions 3,4,5,0,1 -> length 5
+        assert max_free_run(marked) == 5
+
+
+@given(
+    st.integers(min_value=2, max_value=60),
+    st.data(),
+)
+def test_merge_windows_equals_mask_property(period, data):
+    """merge_windows must produce exactly the covered-position mask."""
+    count = data.draw(st.integers(min_value=0, max_value=6))
+    ws = [
+        CyclicWindow(
+            data.draw(st.integers(min_value=0, max_value=period - 1)),
+            data.draw(st.integers(min_value=1, max_value=period)),
+            period,
+        )
+        for _ in range(count)
+    ]
+    mask = np.zeros(period, dtype=bool)
+    for w in ws:
+        mask[w.positions()] = True
+    merged = merge_windows(ws)
+    mask2 = np.zeros(period, dtype=bool)
+    for w in merged:
+        mask2[w.positions()] = True
+    assert (mask == mask2).all()
+    # merged windows must be disjoint and non-adjacent (unless full circle)
+    if len(merged) > 1:
+        for i, a in enumerate(merged):
+            for b_ in merged[i + 1 :]:
+                assert not a.overlaps(b_)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=80))
+def test_max_free_run_matches_bruteforce(bits):
+    marked = np.array(bits, dtype=bool)
+    period = len(marked)
+    best = 0
+    for start in range(period):
+        run = 0
+        for k in range(period):
+            if marked[(start + k) % period]:
+                break
+            run += 1
+        best = max(best, run)
+    assert max_free_run(marked) == best

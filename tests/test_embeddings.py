@@ -1,0 +1,95 @@
+"""Tests for embedding verification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.topology.embeddings import verify_mesh_embedding, verify_torus_embedding
+from repro.topology.graph import CSRGraph
+from repro.topology.torus import mesh_graph, torus_graph
+
+
+def predicates_from(g: CSRGraph, dead=()):
+    dead = set(dead)
+
+    def node_ok(ids):
+        return np.array([i not in dead for i in np.asarray(ids).ravel()]).reshape(
+            np.asarray(ids).shape
+        )
+
+    def edge_ok(us, vs):
+        return g.has_edges(us, vs)
+
+    return node_ok, edge_ok
+
+
+class TestTorusEmbedding:
+    def test_identity_embedding(self):
+        g = torus_graph((4, 5))
+        node_ok, edge_ok = predicates_from(g)
+        stats = verify_torus_embedding((4, 5), np.arange(20), node_ok, edge_ok)
+        assert stats["nodes"] == 20
+        assert stats["edges_checked"] == 40
+
+    def test_rejects_non_injective(self):
+        g = torus_graph((4, 5))
+        node_ok, edge_ok = predicates_from(g)
+        phi = np.zeros(20, dtype=int)
+        with pytest.raises(EmbeddingError, match="injective"):
+            verify_torus_embedding((4, 5), phi, node_ok, edge_ok)
+
+    def test_rejects_faulty_image(self):
+        g = torus_graph((4, 5))
+        node_ok, edge_ok = predicates_from(g, dead=[7])
+        with pytest.raises(EmbeddingError, match="faulty"):
+            verify_torus_embedding((4, 5), np.arange(20), node_ok, edge_ok)
+
+    def test_rejects_missing_edge(self):
+        g = torus_graph((4, 5))
+        node_ok, edge_ok = predicates_from(g)
+        phi = np.arange(20)
+        phi[0], phi[7] = phi[7], phi[0]  # scramble adjacency
+        with pytest.raises(EmbeddingError, match="missing"):
+            verify_torus_embedding((4, 5), phi, node_ok, edge_ok)
+
+    def test_wrong_size(self):
+        g = torus_graph((4, 5))
+        node_ok, edge_ok = predicates_from(g)
+        with pytest.raises(EmbeddingError, match="entries"):
+            verify_torus_embedding((4, 5), np.arange(19), node_ok, edge_ok)
+
+    def test_rotation_is_valid_automorphism(self):
+        g = torus_graph((4, 5))
+        node_ok, edge_ok = predicates_from(g)
+        # shifting rows by 1 is an automorphism of the torus
+        phi = (np.arange(20).reshape(4, 5)[np.roll(np.arange(4), 1)]).ravel()
+        verify_torus_embedding((4, 5), phi, node_ok, edge_ok)
+
+
+class TestMeshEmbedding:
+    def test_mesh_into_torus(self):
+        host = torus_graph((4, 5))
+        node_ok, edge_ok = predicates_from(host)
+        verify_mesh_embedding((4, 5), np.arange(20), node_ok, edge_ok)
+
+    def test_mesh_identity(self):
+        host = mesh_graph((3, 3))
+        node_ok, edge_ok = predicates_from(host)
+        stats = verify_mesh_embedding((3, 3), np.arange(9), node_ok, edge_ok)
+        assert stats["edges_checked"] == 12
+
+    def test_mesh_rotation_not_valid(self):
+        # rotating rows is NOT an automorphism of the mesh (no wrap edges)
+        host = mesh_graph((4, 5))
+        node_ok, edge_ok = predicates_from(host)
+        phi = (np.arange(20).reshape(4, 5)[np.roll(np.arange(4), 1)]).ravel()
+        with pytest.raises(EmbeddingError):
+            verify_mesh_embedding((4, 5), phi, node_ok, edge_ok)
+
+    def test_side_length_two_wrap_dedup(self):
+        # shape with n=2: torus == mesh in that axis plus one doubled edge
+        host = torus_graph((2, 4))
+        node_ok, edge_ok = predicates_from(host)
+        verify_torus_embedding((2, 4), np.arange(8), node_ok, edge_ok)

@@ -1,0 +1,68 @@
+"""Tests for explicit expanders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.expander import (
+    gabber_galil_expander,
+    random_regular_expander,
+    spectral_expansion,
+)
+from repro.util.rng import spawn_rng
+
+
+class TestGabberGalil:
+    def test_size(self):
+        g = gabber_galil_expander(7)
+        assert g.num_nodes == 49
+
+    def test_degree_bounded_by_8(self):
+        g = gabber_galil_expander(11)
+        assert g.max_degree() <= 8
+
+    def test_connected(self):
+        g = gabber_galil_expander(9)
+        labels = g.connected_components()
+        assert (labels == 0).all()
+
+    def test_spectral_gap(self):
+        # second eigenvalue well separated from the degree bound
+        g = gabber_galil_expander(13)
+        lam = spectral_expansion(g)
+        assert lam < 0.9 * 8
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            gabber_galil_expander(1)
+
+
+class TestRandomRegular:
+    def test_regular_degree(self):
+        g = random_regular_expander(60, 4, spawn_rng(0))
+        assert set(g.degrees().tolist()) == {4}
+
+    def test_gap_near_ramanujan(self):
+        g = random_regular_expander(200, 6, spawn_rng(1))
+        lam = spectral_expansion(g)
+        assert lam <= 2.3 * np.sqrt(5) + 1e-9
+
+
+class TestSpectral:
+    def test_complete_graph_eigenvalues(self):
+        # K_n: eigenvalues n-1 and -1 -> second largest |.| is 1
+        import itertools
+
+        from repro.topology.graph import CSRGraph
+
+        n = 8
+        e = np.array(list(itertools.combinations(range(n), 2)))
+        g = CSRGraph(n, e)
+        assert spectral_expansion(g) == pytest.approx(1.0, abs=1e-8)
+
+    def test_cycle_poor_expansion(self):
+        from repro.topology.torus import cycle_graph
+
+        lam = spectral_expansion(cycle_graph(50))
+        assert lam > 1.9  # cycles are terrible expanders (lambda_2 ~ 2)

@@ -1,0 +1,105 @@
+"""Tests for random fault models (node, half-edge, edge folding)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults.models import (
+    BernoulliNodeFaults,
+    HalfEdgeFaults,
+    fold_edge_faults_into_nodes,
+    paper_node_failure_probability,
+)
+from repro.util.rng import spawn_rng
+
+
+class TestBernoulliNodeFaults:
+    def test_rate_matches(self):
+        rng = spawn_rng(0, "faults")
+        f = BernoulliNodeFaults(0.1).sample((200, 200), rng)
+        assert f.shape == (200, 200)
+        assert abs(f.mean() - 0.1) < 0.01
+
+    def test_zero_and_one(self):
+        rng = spawn_rng(0)
+        assert not BernoulliNodeFaults(0.0).sample((10, 10), rng).any()
+        assert BernoulliNodeFaults(1.0).sample((10, 10), rng).all()
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            BernoulliNodeFaults(1.5)
+
+    def test_expected_faults(self):
+        assert BernoulliNodeFaults(0.25).expected_faults((4, 4)) == 4.0
+
+    def test_deterministic_given_rng(self):
+        a = BernoulliNodeFaults(0.3).sample((20, 20), spawn_rng(7))
+        b = BernoulliNodeFaults(0.3).sample((20, 20), spawn_rng(7))
+        assert (a == b).all()
+
+
+class TestPaperRegime:
+    def test_formula(self):
+        assert paper_node_failure_probability(256, 2) == pytest.approx(8.0 ** -6)
+
+    def test_decreasing_in_n_and_d(self):
+        assert paper_node_failure_probability(1024, 2) < paper_node_failure_probability(64, 2)
+        assert paper_node_failure_probability(256, 3) < paper_node_failure_probability(256, 2)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            paper_node_failure_probability(2, 2)
+
+
+class TestHalfEdgeFaults:
+    def test_edge_rate_is_q(self):
+        he = HalfEdgeFaults(0.04, root_seed=3)
+        # edge faulty iff both halves faulty -> rate q
+        block = he.edge_block(0, 1, 300, 300)
+        assert abs(block.mean() - 0.04) < 0.005
+
+    def test_half_rate_is_sqrt_q(self):
+        he = HalfEdgeFaults(0.04, root_seed=3)
+        half = he.half_block(5, 6, (300, 300))
+        assert abs(half.mean() - 0.2) < 0.01
+
+    def test_deterministic_per_ordered_pair(self):
+        he = HalfEdgeFaults(0.5, root_seed=9)
+        a = he.half_block(1, 2, (8, 8))
+        b = he.half_block(1, 2, (8, 8))
+        assert (a == b).all()
+
+    def test_directions_independent(self):
+        he = HalfEdgeFaults(0.5, root_seed=9)
+        a = he.half_block(1, 2, (64, 64))
+        b = he.half_block(2, 1, (64, 64))
+        assert not (a == b.T).all()
+
+    def test_q_zero_shortcut(self):
+        he = HalfEdgeFaults(0.0, root_seed=1)
+        assert not he.half_block(0, 0, (5, 5)).any()
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            HalfEdgeFaults(-0.1, root_seed=0)
+
+
+class TestEdgeFolding:
+    def test_zero_q_identity(self):
+        f = np.zeros((5, 5), dtype=bool)
+        out = fold_edge_faults_into_nodes(f, 0.0, 10, spawn_rng(0))
+        assert out is f
+
+    def test_rate_upper_bound(self):
+        f = np.zeros((300, 300), dtype=bool)
+        out = fold_edge_faults_into_nodes(f, 0.01, 10, spawn_rng(0))
+        expect = 1 - (1 - 0.005) ** 10
+        assert abs(out.mean() - expect) < 0.005
+
+    def test_preserves_existing_faults(self):
+        f = np.ones((4, 4), dtype=bool)
+        out = fold_edge_faults_into_nodes(f, 0.5, 4, spawn_rng(0))
+        assert out.all()

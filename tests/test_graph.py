@@ -1,0 +1,109 @@
+"""Tests for the CSR graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.graph import CSRGraph
+
+
+def triangle() -> CSRGraph:
+    return CSRGraph(3, np.array([[0, 1], [1, 2], [2, 0]]))
+
+
+class TestConstruction:
+    def test_dedupes_and_canonicalises(self):
+        g = CSRGraph(3, np.array([[0, 1], [1, 0], [0, 1]]))
+        assert g.num_edges == 1
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            CSRGraph(2, np.array([[0, 0]]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CSRGraph(2, np.array([[0, 2]]))
+
+    def test_empty_graph(self):
+        g = CSRGraph(4, np.empty((0, 2), dtype=np.int64))
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+        assert g.degrees().tolist() == [0, 0, 0, 0]
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = triangle()
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_degrees(self):
+        assert triangle().degrees().tolist() == [2, 2, 2]
+
+    def test_has_edge(self):
+        g = CSRGraph(4, np.array([[0, 1], [2, 3]]))
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_has_edges_vectorised(self):
+        g = CSRGraph(4, np.array([[0, 1], [2, 3]]))
+        out = g.has_edges(np.array([0, 1, 0, 3]), np.array([1, 0, 3, 2]))
+        assert out.tolist() == [True, True, False, True]
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = CSRGraph(5, np.array([[0, 1], [1, 2], [3, 4]]))
+        labels = g.connected_components()
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_alive_mask_splits(self):
+        g = CSRGraph(3, np.array([[0, 1], [1, 2]]))
+        alive = np.array([True, False, True])
+        labels = g.connected_components(alive)
+        assert labels[1] == -1
+        assert labels[0] != labels[2]
+
+    def test_largest_component_size(self):
+        g = CSRGraph(5, np.array([[0, 1], [1, 2], [3, 4]]))
+        assert g.largest_component_size() == 3
+
+
+class TestConversions:
+    def test_networkx_roundtrip(self):
+        import networkx as nx
+
+        g = triangle()
+        gx = g.to_networkx()
+        assert nx.is_isomorphic(gx, nx.cycle_graph(3))
+        back = CSRGraph.from_networkx(gx)
+        assert back.num_edges == 3
+
+
+@given(st.data())
+def test_csr_agrees_with_networkx(data):
+    import networkx as nx
+
+    n = data.draw(st.integers(min_value=2, max_value=12))
+    pairs = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ).filter(lambda p: p[0] != p[1]),
+            max_size=30,
+        )
+    )
+    g = CSRGraph(n, np.array(pairs, dtype=np.int64).reshape(-1, 2))
+    gx = nx.Graph()
+    gx.add_nodes_from(range(n))
+    gx.add_edges_from(pairs)
+    assert g.num_edges == gx.number_of_edges()
+    assert g.degrees().tolist() == [gx.degree(v) for v in range(n)]
+    labels = g.connected_components()
+    for comp in nx.connected_components(gx):
+        comp = list(comp)
+        assert len({labels[v] for v in comp}) == 1

@@ -1,0 +1,166 @@
+"""Focused tests for internal helpers that end-to-end tests cross lightly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import BnParams
+from repro.core.placement import _cover_linear, _pad_cyclic
+from repro.errors import BandPlacementError
+
+
+class TestCoverLinear:
+    def test_latest_variant_maximises_reach(self):
+        order = np.array([0, 2, 9])
+        # latest: bottom 0 covers 0-2 (b=3), bottom 9 covers 9-11
+        out = _cover_linear(order, 3, "latest")
+        assert out == [0, 9]
+
+    def test_earliest_variant_packs_left(self):
+        order = np.array([0, 3])
+        out = _cover_linear(order, 3, "earliest")
+        assert out == [-2, 2]
+        # both faults covered
+        for r, bot in [(0, -2), (3, 2)]:
+            assert bot <= r <= bot + 2
+
+    def test_latest_raises_on_tight_pair(self):
+        with pytest.raises(BandPlacementError):
+            _cover_linear(np.array([0, 3]), 3, "latest")
+
+    def test_earliest_raises_when_impossible(self):
+        # rows 0,3,6,9 provably need a 12-span; none exists
+        with pytest.raises(BandPlacementError):
+            _cover_linear(np.array([0, 3, 6, 9]), 3, "earliest")
+
+    def test_skips_covered_rows(self):
+        out = _cover_linear(np.array([5, 6, 7]), 3, "latest")
+        assert out == [5]
+
+
+class TestPadCyclic:
+    def test_pads_to_exact_count(self):
+        out = _pad_cyclic([0, 20], 54, 3, 6)
+        assert len(out) == 6
+        srt = sorted(x % 54 for x in out)
+        gaps = np.diff(np.concatenate([srt, [srt[0] + 54]]))
+        assert (gaps >= 4).all()
+
+    def test_noop_when_full(self):
+        assert _pad_cyclic([0, 10, 20], 54, 3, 3) == [0, 10, 20]
+
+    def test_raises_when_no_room(self):
+        # 54 rows, need 13 bands with spacing >= 4: 13*4 = 52 fits, 14 doesn't
+        with pytest.raises(BandPlacementError):
+            _pad_cyclic([0], 54, 3, 15)
+
+
+class TestAssignedNeighborsGeneralD:
+    def test_interior_node_has_axis_predecessors(self):
+        from repro.core.an import _assigned_neighbors
+        from repro.topology.coords import CoordCodec
+
+        codec = CoordCodec((5, 5))
+        out = _assigned_neighbors(np.array([2, 3]), 5, 2, codec)
+        assert set(out) == {codec.ravel(np.array([1, 3])), codec.ravel(np.array([2, 2]))}
+
+    def test_origin_has_none(self):
+        from repro.core.an import _assigned_neighbors
+        from repro.topology.coords import CoordCodec
+
+        codec = CoordCodec((5, 5))
+        assert _assigned_neighbors(np.array([0, 0]), 5, 2, codec) == []
+
+    def test_last_slice_adds_wrap(self):
+        from repro.core.an import _assigned_neighbors
+        from repro.topology.coords import CoordCodec
+
+        codec = CoordCodec((5, 5))
+        out = _assigned_neighbors(np.array([4, 4]), 5, 2, codec)
+        assert len(out) == 4  # -1 and wrap on both axes
+
+    def test_3d_count_bound(self):
+        from repro.core.an import _assigned_neighbors
+        from repro.topology.coords import CoordCodec
+
+        codec = CoordCodec((4, 4, 4))
+        out = _assigned_neighbors(np.array([3, 3, 3]), 4, 3, codec)
+        assert len(out) == 6  # 2d with d=3
+
+
+class TestPaintingInternals:
+    def test_king_offsets_count(self):
+        from repro.core.painting import _king_offsets
+
+        assert len(_king_offsets(2)) == 8
+        assert len(_king_offsets(3)) == 26
+
+    def test_dilate_dim0_wraps(self):
+        from repro.core.painting import _dilate_dim0
+
+        black = np.zeros((6, 4), dtype=bool)
+        black[0, 1] = True
+        out = _dilate_dim0(black)
+        assert out[5, 1] and out[1, 1] and out[0, 1]
+        assert out.sum() == 3
+
+
+class TestChernoffInternals:
+    def test_prediction_fields(self, bn2_medium):
+        from repro.analysis.chernoff import predict_healthiness
+
+        pred = predict_healthiness(bn2_medium, 1e-6)
+        assert pred.total_bound <= (
+            pred.cond1_bound + pred.cond2_bound + pred.cond3_bound + 1e-12
+        )
+        row = pred.as_row()
+        assert row[0] == 1e-6 and len(row) == 5
+
+    def test_tiny_p_gives_meaningful_bound(self, bn2_medium):
+        """At small enough p the union bound finally drops below 1 —
+        the asymptotic regime the paper's Lemma 4 lives in."""
+        from repro.analysis.chernoff import predict_healthiness
+
+        pred = predict_healthiness(bn2_medium, 1e-8)
+        assert pred.cond2_bound < 0.1
+
+
+class TestBnTrialEdgeCases:
+    def test_trial_with_zero_p_always_straight(self, bn2_small):
+        from repro.core.bn import BTorus
+
+        out = BTorus(bn2_small).trial(0.0, seed=5)
+        assert out.success and out.num_faults == 0
+
+    def test_survives_strategy_paper(self, bn2_small):
+        from repro.core.bn import BTorus
+
+        bt = BTorus(bn2_small)
+        faults = np.zeros(bn2_small.shape, dtype=bool)
+        faults[20, 20] = True
+        assert bt.survives(faults, strategy="paper")
+
+
+class TestSimEngineEdgeCases:
+    def test_zero_length_route(self):
+        from repro.sim.engine import simulate
+
+        res = simulate((4, 4), np.array([[3, 3]]))
+        assert res.delivered == 1 and res.latencies[0] == 0
+
+    def test_max_cycles_cutoff(self):
+        from repro.sim.engine import simulate
+        from repro.sim.traffic import make_traffic
+        from repro.util.rng import spawn_rng
+
+        t = make_traffic((8, 8), "uniform", 100, spawn_rng(0))
+        res = simulate((8, 8), t, max_cycles=2)
+        assert res.delivered < res.total
+        assert res.cycles == 2
+
+    def test_empty_traffic(self):
+        from repro.sim.engine import simulate
+
+        res = simulate((4, 4), np.empty((0, 2), dtype=int))
+        assert res.total == 0 and res.throughput == 0.0

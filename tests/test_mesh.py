@@ -1,0 +1,87 @@
+"""Tests for mesh views of recovered tori (the title's 'and hence the mesh')."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bn import BTorus
+from repro.core.mesh import mesh_phi, submesh_phi, verify_recovered_mesh
+
+
+@pytest.fixture(scope="module")
+def recovered(bn2_small):
+    bt = BTorus(bn2_small)
+    faults = np.zeros(bn2_small.shape, dtype=bool)
+    faults[20, 20] = True
+    rec = bt.recover(faults, strategy="paper")
+    return bt, faults, rec
+
+
+class TestSubmeshPhi:
+    def test_full_mesh_is_torus_nodes(self, recovered):
+        _, _, rec = recovered
+        mp = mesh_phi(rec)
+        assert (np.sort(mp) == np.sort(rec.phi)).all()
+
+    def test_submesh_size(self, recovered):
+        _, _, rec = recovered
+        mp = submesh_phi(rec.guest_shape(), rec.phi, (3, 5), (4, 7))
+        assert mp.shape == (28,)
+
+    def test_submesh_wraps(self, recovered):
+        _, _, rec = recovered
+        n = rec.params.n
+        mp = submesh_phi(rec.guest_shape(), rec.phi, (n - 2, n - 2), (4, 4))
+        assert len(np.unique(mp)) == 16
+
+    def test_bad_sizes(self, recovered):
+        _, _, rec = recovered
+        with pytest.raises(ValueError):
+            submesh_phi(rec.guest_shape(), rec.phi, (0, 0), (0, 5))
+        with pytest.raises(ValueError):
+            submesh_phi(rec.guest_shape(), rec.phi, (0,), (5,))
+
+
+class TestVerifiedMesh:
+    def test_full_mesh_verifies(self, recovered):
+        bt, faults, rec = recovered
+        stats = verify_recovered_mesh(rec, faults, bt.bn)
+        n = rec.params.n
+        assert stats["nodes"] == n * n
+        assert stats["edges_checked"] == 2 * n * (n - 1)
+
+    def test_submesh_verifies(self, recovered):
+        bt, faults, rec = recovered
+        stats = verify_recovered_mesh(rec, faults, bt.bn, corner=(10, 30), sizes=(9, 8))
+        assert stats["nodes"] == 72
+
+    def test_3d_mesh(self, bn3_small):
+        bt = BTorus(bn3_small)
+        faults = np.zeros(bn3_small.shape, dtype=bool)
+        rec = bt.recover(faults)
+        stats = verify_recovered_mesh(rec, faults, bt.bn, sizes=(6, 6, 6), corner=(0, 0, 0))
+        assert stats["nodes"] == 216
+
+    def test_d_construction_mesh_restriction(self, dn2_small):
+        """Theorem 13 also covers the mesh: restrict a D recovery."""
+        from repro.core.dn import DTorus
+        from repro.faults.adversary import adversarial_node_faults
+        from repro.topology.embeddings import verify_mesh_embedding
+        from repro.util.rng import spawn_rng
+
+        dt = DTorus(dn2_small)
+        faults = adversarial_node_faults(
+            dn2_small.shape, dn2_small.k, "random", spawn_rng(9)
+        )
+        rec = dt.recover(faults)
+        fault_flat = faults.ravel()
+        n = dn2_small.n
+        stats = verify_mesh_embedding(
+            (n, n),
+            rec.phi,
+            lambda ids: ~fault_flat[ids],
+            lambda us, vs: dt.is_adjacent(us, vs) & ~fault_flat[us] & ~fault_flat[vs],
+        )
+        assert stats["nodes"] == n * n
+        assert stats["edges_checked"] == 2 * n * (n - 1)

@@ -1,0 +1,72 @@
+"""Tests for online fault arrival and lifetime measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bn import BTorus
+from repro.core.online import OnlineRecovery, fault_lifetime
+from repro.errors import ReconstructionError
+
+
+@pytest.fixture()
+def online(bn2_small):
+    return OnlineRecovery(BTorus(bn2_small))
+
+
+class TestOnlineRecovery:
+    def test_starts_clean(self, online):
+        assert online.num_faults == 0
+        assert online.recovery is not None
+
+    def test_masked_fault_is_noop(self, online):
+        # a node under band 0 of column 0 is already masked
+        bottom = int(online.recovery.bands.bottoms[0, 0])
+        ev = online.add_fault((bottom, 0))
+        assert ev.action == "masked"
+
+    def test_unmasked_fault_triggers_replacement(self, online):
+        row = int(online.recovery.bands.unmasked_rows(0)[0])
+        ev = online.add_fault((row, 0))
+        assert ev.action == "replaced"
+        # new placement must mask it
+        assert online._already_masked((row, 0))
+
+    def test_embedding_avoids_all_registered_faults(self, online):
+        rows = online.recovery.bands.unmasked_rows(5)
+        for r in rows[:2]:
+            online.add_fault((int(r), 5))
+        assert not online.faults.ravel()[online.recovery.phi].any()
+
+    def test_failure_keeps_previous_state(self, online, bn2_small):
+        # saturate: add faults until failure, previous recovery stays valid
+        rng = np.random.default_rng(0)
+        failed = False
+        for flat in rng.permutation(bn2_small.num_nodes)[:60]:
+            coord = np.unravel_index(int(flat), bn2_small.shape)
+            try:
+                online.add_fault(coord)
+            except ReconstructionError:
+                failed = True
+                break
+        assert failed
+        online.recovery.bands.validate()  # previous placement still valid
+
+    def test_repair_fraction(self, online):
+        bottom = int(online.recovery.bands.bottoms[0, 0])
+        online.add_fault((bottom, 0))
+        assert online.repair_fraction() == 0.0
+
+
+class TestLifetime:
+    def test_lifetime_positive_and_reproducible(self, bn2_small):
+        bt = BTorus(bn2_small)
+        a = fault_lifetime(bt, seed=1, max_faults=40)
+        b = fault_lifetime(bt, seed=1, max_faults=40)
+        assert a == b
+        assert a >= 3  # survives at least a few random faults
+
+    def test_lifetime_cap(self, bn2_small):
+        bt = BTorus(bn2_small)
+        assert fault_lifetime(bt, seed=2, max_faults=2) <= 2

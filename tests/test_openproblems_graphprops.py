@@ -1,0 +1,73 @@
+"""Tests for the Section 6 probes and host graph properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.graphprops import (
+    bfs_distances,
+    dim0_cut_edges,
+    mean_distance,
+    sampled_diameter,
+)
+from repro.analysis.openproblems import bn_constant_p_decay, one_dimensional_answer
+from repro.core.bn_graph import BnGraph
+from repro.core.params import BnParams
+from repro.topology.torus import torus_graph
+from repro.util.rng import spawn_rng
+
+
+class TestGraphProps:
+    def test_bfs_on_cycle(self):
+        from repro.topology.torus import cycle_graph
+
+        g = cycle_graph(8)
+        dist = bfs_distances(g, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4, 3, 2, 1]
+
+    def test_sampled_diameter_torus(self):
+        g = torus_graph((6, 6))
+        # exact diameter of C6 x C6 is 6
+        assert sampled_diameter(g, 36, spawn_rng(0)) == 6
+
+    def test_mean_distance_reasonable(self):
+        g = torus_graph((6, 6))
+        md = mean_distance(g, 10, spawn_rng(1))
+        assert 2.5 < md < 3.5  # exact mean is 3.0
+
+    def test_bn_jumps_shrink_dim0_distances(self, bn2_small):
+        """B's vertical/diagonal jumps act as an express level in dim 0:
+        its diameter is strictly below the plain m x n torus's."""
+        bn = BnGraph(bn2_small)
+        host = bn.graph()
+        plain = torus_graph(bn2_small.shape)
+        rng = spawn_rng(2)
+        d_host = sampled_diameter(host, 6, rng)
+        d_plain = sampled_diameter(plain, 6, spawn_rng(2))
+        assert d_host < d_plain
+
+    def test_dim0_cut_counts(self, bn2_small):
+        bn = BnGraph(bn2_small)
+        g = bn.graph()
+        coord0 = bn.codec.axis_coord(np.arange(g.num_nodes), 0)
+        crossing = dim0_cut_edges(g, coord0, bn2_small.m // 2)
+        # at least the torus edges cross (n of them), plus jumps
+        assert crossing >= bn2_small.n
+
+
+class TestOpenProblems:
+    def test_bn_dies_at_constant_p(self):
+        rows = bn_constant_p_decay(p=0.01, trials=6)
+        # constant-degree B at constant p: survival collapses as size grows
+        assert rows[0].degree == rows[-1].degree == 10
+        assert rows[-1].survival <= rows[0].survival
+        assert rows[-1].survival <= 0.5
+
+    def test_one_dimensional_is_solved(self):
+        rows = one_dimensional_answer(p=0.05, trials=6, sizes=(40, 80))
+        for r in rows:
+            assert r.degree <= 8  # constant degree
+            assert r.survival >= 0.8  # survives constant p
+        # linear size
+        assert rows[1].size <= 4 * 80

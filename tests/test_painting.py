@@ -1,0 +1,86 @@
+"""Tests for the painting procedure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.painting import paint_tiles
+from repro.errors import ReconstructionError
+from repro.topology.grid import TileGeometry
+
+
+@pytest.fixture()
+def geo(bn2_small):
+    return TileGeometry(bn2_small.shape, bn2_small.b)
+
+
+def faults_at(params, coords):
+    f = np.zeros(params.shape, dtype=bool)
+    for c in coords:
+        f[c] = True
+    return f
+
+
+class TestBasicPainting:
+    def test_no_faults_no_regions(self, bn2_small, geo):
+        res = paint_tiles(bn2_small, faults_at(bn2_small, []), geo)
+        assert not res.black.any()
+        assert res.regions == []
+
+    def test_single_fault_single_region(self, bn2_small, geo):
+        res = paint_tiles(bn2_small, faults_at(bn2_small, [(20, 20)]), geo)
+        assert len(res.regions) == 1
+        # the faulty tile (2,2) must be black
+        assert res.black[2, 2]
+
+    def test_faulty_tiles_black(self, bn2_small, geo):
+        coords = [(0, 0), (27, 18)]  # tiles (0,0) and (3,2): frames disjoint
+        res = paint_tiles(bn2_small, faults_at(bn2_small, coords), geo)
+        for (r, c) in coords:
+            assert res.black[r // 9, c // 9]
+
+    def test_dilation_along_dim0(self, bn2_small, geo):
+        res = paint_tiles(bn2_small, faults_at(bn2_small, [(20, 20)]), geo)
+        # tile (2,2) faulty -> tiles (1,2) and (3,2) dilated black
+        assert res.black[1, 2] and res.black[3, 2]
+
+    def test_labels_match_black(self, bn2_small, geo):
+        res = paint_tiles(bn2_small, faults_at(bn2_small, [(20, 20), (0, 0)]), geo)
+        assert ((res.labels >= 0) == res.black).all()
+
+
+class TestRegions:
+    def test_far_faults_separate_regions(self, bn2_small, geo):
+        res = paint_tiles(bn2_small, faults_at(bn2_small, [(0, 0), (27, 18)]), geo)
+        assert len(res.regions) == 2
+
+    def test_near_faults_merge(self, bn2_small, geo):
+        # same tile -> one region
+        res = paint_tiles(bn2_small, faults_at(bn2_small, [(20, 20), (21, 21)]), geo)
+        assert len(res.regions) == 1
+
+    def test_strip_range_contiguous(self, bn2_small, geo):
+        res = paint_tiles(bn2_small, faults_at(bn2_small, [(20, 20)]), geo)
+        region = res.regions[0]
+        rows = np.unique(geo.grid.unravel(region.tiles_flat)[..., 0])
+        assert region.strip_count == len(rows)
+
+    def test_region_wrap_strip_range(self, bn2_small, geo):
+        # fault in tile-row 0: dilation wraps to the last tile-row
+        res = paint_tiles(bn2_small, faults_at(bn2_small, [(0, 20)]), geo)
+        region = res.regions[0]
+        assert region.strip_count == 3
+        assert region.strip_start == geo.grid_shape[0] - 1  # starts at wrapped row
+
+
+class TestFailureModes:
+    def test_saturated_grid_no_frame(self, bn2_small, geo):
+        p = bn2_small
+        coords = []
+        for r in range(0, geo.grid_shape[0], 2):
+            for c in range(geo.grid_shape[1]):
+                coords.append((r * 9, c * 9))
+        with pytest.raises(ReconstructionError) as ei:
+            paint_tiles(p, faults_at(p, coords), geo)
+        assert ei.value.category == "no-frame"

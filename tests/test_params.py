@@ -1,0 +1,127 @@
+"""Tests for construction parameter validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import AnParams, BnParams, DnParams, suggest_bn_params
+from repro.errors import ParameterError
+
+
+class TestBnParams:
+    def test_smallest_legal(self):
+        p = BnParams(d=2, b=3, s=1, t=2)
+        assert p.n == 36 and p.m == 54
+        assert p.num_nodes == 54 * 36
+        assert p.num_bands == 6
+        assert p.tile_rows == 6
+        assert p.degree == 10
+
+    def test_band_count_identity(self):
+        # (m - n)/b == s * (m / b^2): exactly s bands per tile-row
+        for b, s, t in [(3, 1, 2), (4, 1, 2), (5, 2, 2), (7, 3, 2)]:
+            p = BnParams(d=2, b=b, s=s, t=t)
+            assert p.num_bands * p.b == p.m - p.n
+            assert p.num_bands == p.s * p.tile_rows
+
+    def test_divisibility(self):
+        p = BnParams(d=2, b=5, s=2, t=2)
+        assert p.n % p.tile == 0 and p.m % p.tile == 0
+
+    def test_redundancy_formula(self):
+        p = BnParams(d=2, b=4, s=1, t=2)
+        assert p.redundancy == pytest.approx(1 / (1 - p.eps))
+        assert p.num_nodes == pytest.approx((1 + p.eps_redundancy) * p.n ** p.d)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(d=0, b=3, s=1, t=2),
+            dict(d=2, b=2, s=1, t=5),  # b < 3
+            dict(d=2, b=4, s=2, t=2),  # s/b >= 1/2
+            dict(d=2, b=3, s=1, t=1),  # tile grid < b wide
+            dict(d=2, b=3, s=0, t=2),
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ParameterError):
+            BnParams(**kw)
+
+    def test_paper_fault_probability(self):
+        p = BnParams(d=2, b=4, s=1, t=2)
+        assert p.paper_fault_probability == pytest.approx(4.0 ** -6)
+
+    def test_suggest_targets_n(self):
+        p = suggest_bn_params(1000, d=2)
+        assert p.d == 2
+        assert 0.3 * 1000 <= p.n <= 3 * 1000
+
+    def test_describe_mentions_key_fields(self):
+        text = BnParams(d=2, b=3, s=1, t=2).describe()
+        assert "b=3" in text and "degree=10" in text
+
+
+class TestDnParams:
+    def test_two_dim_example(self):
+        p = DnParams(d=2, n=70, b=2)
+        assert p.k == 8  # b^(2^2 - 1)
+        assert p.degree == 8
+        assert p.width(1) == 2 and p.width(2) == 4
+
+    def test_divisibility_constraints(self):
+        p = DnParams(d=2, n=70, b=2)
+        for i in (1, 2):
+            bi = p.width(i)
+            assert p.m[i - 1] % (bi + 1) == 0
+            assert (p.m[i - 1] - p.n) % bi == 0
+            assert p.m[i - 1] >= p.n + p.b ** (2 ** p.d)
+
+    def test_one_dim(self):
+        p = DnParams(d=1, n=10, b=3)
+        assert p.k == 3 and p.degree == 4
+
+    def test_three_dim(self):
+        p = DnParams(d=3, n=260, b=2)
+        assert p.k == 2 ** 7
+        assert p.width(3) == 16
+
+    def test_n_below_k_rejected(self):
+        with pytest.raises(ParameterError):
+            DnParams(d=2, n=7, b=2)  # k=8 > n
+
+    def test_capacity_at_least_k(self):
+        p = DnParams(d=2, n=70, b=2)
+        assert p.capacity(1) >= p.k
+
+    def test_node_bound(self):
+        p = DnParams(d=2, n=70, b=2)
+        assert p.num_nodes <= p.paper_node_bound
+
+
+class TestAnParams:
+    def base(self):
+        return BnParams(d=2, b=3, s=1, t=2)
+
+    def test_counts(self):
+        ap = AnParams(base=self.base(), k_sub=2, h=14)
+        assert ap.n == 72
+        assert ap.num_nodes == 1944 * 14
+        assert ap.degree == 13 + 10 * 14
+
+    def test_general_d_host_allowed(self):
+        ap = AnParams(base=BnParams(d=3, b=3, s=1, t=2), k_sub=2, h=9)
+        assert ap.d == 3 and ap.n == 72
+        assert ap.good_node_threshold(0.0) == 8  # k^d
+
+    def test_requires_d_at_least_2(self):
+        with pytest.raises(ParameterError):
+            AnParams(base=BnParams(d=1, b=3, s=1, t=2), k_sub=2, h=9)
+
+    def test_h_must_fit_submesh(self):
+        with pytest.raises(ParameterError):
+            AnParams(base=self.base(), k_sub=3, h=8)
+
+    def test_feasibility_inequality(self):
+        ap = AnParams(base=self.base(), k_sub=2, h=14)
+        assert ap.feasible_for(0.3, 0.0)
+        assert not ap.feasible_for(0.8, 0.0)

@@ -1,0 +1,159 @@
+"""Tests for band placement strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import BnParams
+from repro.core.placement import place_bands, place_paper, place_straight
+from repro.errors import BandPlacementError, ReconstructionError
+
+
+def faults_at(params, coords):
+    f = np.zeros(params.shape, dtype=bool)
+    for c in coords:
+        f[c] = True
+    return f
+
+
+class TestStraight:
+    def test_no_faults(self, bn2_small):
+        bs = place_straight(bn2_small, faults_at(bn2_small, []))
+        bs.validate()
+
+    def test_single_fault(self, bn2_small):
+        f = faults_at(bn2_small, [(10, 5)])
+        bs = place_straight(bn2_small, f)
+        bs.validate(f)
+
+    def test_cluster(self, bn2_small):
+        f = faults_at(bn2_small, [(10, 5), (11, 30), (12, 0)])
+        bs = place_straight(bn2_small, f)
+        bs.validate(f)
+
+    def test_rows_exactly_b_apart_need_earliest_variant(self, bn2_small):
+        p = bn2_small
+        # faults in rows 0 and b defeat the latest-bottom greedy (bottoms
+        # exactly b apart); the earliest-bottom sweep resolves it.
+        f = faults_at(p, [(0, 0), (p.b, 0)])
+        bs = place_straight(p, f)
+        bs.validate(f)
+
+    def test_periodic_rows_defeat_both_greedies(self, bn2_small):
+        p = bn2_small
+        # rows 0, b, 2b, 3b: period b vs window period b+1 -> no straight
+        # cover exists with untouching bottoms
+        f = faults_at(p, [(i * p.b, 0) for i in range(4)])
+        with pytest.raises(ReconstructionError):
+            place_straight(p, f)
+
+    def test_too_many_fault_rows(self, bn2_small):
+        p = bn2_small
+        # more spread fault rows than K * b can mask
+        rows = list(range(0, p.m, p.b + 2))
+        f = faults_at(p, [(r, 0) for r in rows])
+        with pytest.raises(BandPlacementError):
+            place_straight(p, f)
+
+
+class TestPaper:
+    def test_no_faults(self, bn2_small):
+        f = faults_at(bn2_small, [])
+        bs = place_paper(bn2_small, f)
+        bs.validate(f)
+
+    def test_single_fault(self, bn2_small):
+        f = faults_at(bn2_small, [(20, 20)])
+        bs = place_paper(bn2_small, f)
+        bs.validate(f)
+
+    def test_fault_at_origin_wraps(self, bn2_small):
+        f = faults_at(bn2_small, [(0, 0)])
+        bs = place_paper(bn2_small, f)
+        bs.validate(f)
+
+    def test_two_regions(self, bn2_small):
+        f = faults_at(bn2_small, [(20, 20), (45, 2)])
+        bs = place_paper(bn2_small, f)
+        bs.validate(f)
+
+    def test_multi_fault_region_s1_overflows_but_auto_recovers(self, bn2_small):
+        """With s=1, two faults needing distinct segments in one tile-row is
+        exactly what healthiness condition 2 excludes: the paper pipeline
+        must fail with ``segment-overflow``, and the auto strategy must
+        still rescue the instance with straight bands."""
+        p = bn2_small
+        f = faults_at(p, [(20, 20), (24, 22)])
+        with pytest.raises(BandPlacementError) as ei:
+            place_paper(p, f)
+        assert ei.value.category == "segment-overflow"
+        bs = place_bands(p, f, strategy="auto")
+        bs.validate(f)
+
+    def test_multi_fault_region_s2(self):
+        """With s=2 the same shape is within the paper pipeline's budget."""
+        p = BnParams(d=2, b=5, s=2, t=2)
+        f = faults_at(p, [(60, 60), (64, 62)])
+        bs = place_paper(p, f)
+        bs.validate(f)
+
+    def test_s2_instance(self):
+        p = BnParams(d=2, b=5, s=2, t=2)
+        f = faults_at(p, [(60, 60), (63, 64), (70, 61), (100, 100)])
+        bs = place_paper(p, f)
+        bs.validate(f)
+
+    def test_3d_single_fault(self, bn3_small):
+        f = faults_at(bn3_small, [(20, 20, 20)])
+        bs = place_paper(bn3_small, f)
+        bs.validate(f)
+
+
+class TestAuto:
+    def test_prefers_straight(self, bn2_small):
+        f = faults_at(bn2_small, [(10, 5)])
+        bs = place_bands(bn2_small, f, strategy="auto")
+        # straight placement => constant bottoms
+        assert (bs.bottoms == bs.bottoms[:, :1]).all()
+
+    def test_falls_back_to_paper(self):
+        # fault rows 0, 4, 8, 12, 16 have period b = 4 < window period b+1:
+        # no straight cover exists (window span argument), but the regions
+        # are isolated enough for painting + pigeonhole + interpolation
+        p = BnParams(d=2, b=4, s=1, t=3)
+        f = faults_at(p, [(0, 0), (4, 0), (8, 48), (12, 96), (16, 96)])
+        with pytest.raises(ReconstructionError):
+            place_straight(p, f)
+        bs = place_bands(p, f, strategy="auto")
+        bs.validate(f)
+        assert not (bs.bottoms == bs.bottoms[:, :1]).all()
+
+    def test_unknown_strategy(self, bn2_small):
+        with pytest.raises(ValueError):
+            place_bands(bn2_small, faults_at(bn2_small, []), strategy="bogus")
+
+    def test_shape_mismatch(self, bn2_small):
+        with pytest.raises(ValueError):
+            place_bands(bn2_small, np.zeros((3, 3), dtype=bool))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_placement_valid_or_categorised_property(data):
+    """Property: for ANY random fault set, place_bands either returns a
+    fully valid covering band set or raises a categorised error."""
+    p = BnParams(d=2, b=3, s=1, t=2)
+    count = data.draw(st.integers(min_value=0, max_value=8))
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+    f = np.zeros(p.shape, dtype=bool)
+    if count:
+        flat = rng.choice(p.num_nodes, size=count, replace=False)
+        f.ravel()[flat] = True
+    try:
+        bs = place_bands(p, f, strategy="auto")
+    except ReconstructionError as exc:
+        assert exc.category != "unspecified"
+    else:
+        bs.validate(f)  # re-validate: must not raise

@@ -1,0 +1,106 @@
+"""Tests for torus extraction (Lemmas 6-8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bands import BandSet
+from repro.core.bn_graph import BnGraph
+from repro.core.params import BnParams
+from repro.core.placement import place_bands
+from repro.core.reconstruction import _transition, extract_torus
+from repro.errors import ReconstructionError
+
+
+def faults_at(params, coords):
+    f = np.zeros(params.shape, dtype=bool)
+    for c in coords:
+        f[c] = True
+    return f
+
+
+class TestTransition:
+    def test_unmasked_rows_pass_through(self, bn2_small):
+        p = bn2_small
+        bot = np.array([20])
+        rows = np.array([0, 5, 19, 23])  # none masked by [20, 23)
+        out = _transition(rows, bot, bot, p.m, p.b)
+        assert (out == rows).all()
+
+    def test_upward_jump(self, bn2_small):
+        p = bn2_small
+        # band at 20 on source column, 19 on destination: row 19 unmasked at
+        # source, masked at destination -> jumps up by b
+        out = _transition(np.array([19]), np.array([20]), np.array([19]), p.m, p.b)
+        assert out[0] == 19 + p.b
+
+    def test_downward_jump(self, bn2_small):
+        p = bn2_small
+        # band at 20 at source (masks 20..22), 21 at destination (masks
+        # 21..23): row 23 unmasked at source, masked at destination
+        out = _transition(np.array([23]), np.array([20]), np.array([21]), p.m, p.b)
+        assert out[0] == 23 - p.b
+
+    def test_inconsistent_band_raises(self, bn2_small):
+        p = bn2_small
+        # destination masks row 10 but source band is nowhere near: invalid
+        with pytest.raises(ReconstructionError):
+            _transition(np.array([10]), np.array([40]), np.array([10]), p.m, p.b)
+
+
+class TestExtraction:
+    def test_fault_free_extraction(self, bn2_small):
+        bn = BnGraph(bn2_small)
+        f = faults_at(bn2_small, [])
+        bands = place_bands(bn2_small, f)
+        rec = extract_torus(bn, bands, f)
+        assert rec.stats["nodes"] == bn2_small.n ** 2
+        assert rec.stats["edges_checked"] == 2 * bn2_small.n ** 2
+
+    def test_injective_and_column_preserving(self, bn2_small):
+        p = bn2_small
+        bn = BnGraph(p)
+        f = faults_at(p, [(20, 20)])
+        bands = place_bands(p, f)
+        rec = extract_torus(bn, bands, f)
+        # guest (i, z) maps into host column z
+        host_cols = bn.codec.axis_coord(rec.phi, 1)
+        guest_cols = np.tile(np.arange(p.n), p.n)
+        assert (host_cols == guest_cols).all()
+
+    def test_wandering_bands_exercise_jumps(self, bn2_small):
+        """A paper-strategy placement with a real region forces diagonal
+        jumps; the verified embedding proves Lemma 6's row construction."""
+        p = bn2_small
+        bn = BnGraph(p)
+        f = faults_at(p, [(0, 0), (p.b, 20)])  # forces paper strategy
+        bands = place_bands(p, f, strategy="paper")
+        rec = extract_torus(bn, bands, f)
+        # at least one row must use a diagonal jump (bands are not straight)
+        assert not (bands.bottoms == bands.bottoms[:, :1]).all()
+        assert rec.stats["consistency_edges"] == p.n  # d=2: n column edges
+
+    def test_avoids_faults(self, bn2_small):
+        p = bn2_small
+        f = faults_at(p, [(20, 20), (40, 10)])
+        bn = BnGraph(p)
+        bands = place_bands(p, f)
+        rec = extract_torus(bn, bands, f)
+        assert not f.ravel()[rec.phi].any()
+
+    def test_3d_extraction(self, bn3_small):
+        p = bn3_small
+        bn = BnGraph(p)
+        f = faults_at(p, [(20, 20, 20)])
+        bands = place_bands(p, f, strategy="paper")
+        rec = extract_torus(bn, bands, f)
+        assert rec.stats["nodes"] == p.n ** 3
+
+    def test_verify_false_skips_checks(self, bn2_small):
+        p = bn2_small
+        bn = BnGraph(p)
+        f = faults_at(p, [])
+        bands = place_bands(p, f)
+        rec = extract_torus(bn, bands, f, verify=False)
+        assert "nodes" not in rec.stats

@@ -1,0 +1,102 @@
+"""Tests for the routing simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import simulate
+from repro.sim.metrics import latency_stats
+from repro.sim.routing import (
+    all_pairs_mean_distance,
+    dimension_ordered_route,
+    route_length,
+)
+from repro.sim.traffic import TRAFFIC_PATTERNS, make_traffic
+from repro.util.rng import spawn_rng
+
+
+class TestRouting:
+    def test_route_endpoints(self):
+        path = dimension_ordered_route((5, 5), 0, 24)
+        assert path[0] == 0 and path[-1] == 24
+
+    def test_route_steps_are_torus_edges(self):
+        shape = (6, 7)
+        path = dimension_ordered_route(shape, 3, 40)
+        from repro.topology.torus import torus_graph
+
+        g = torus_graph(shape)
+        assert g.has_edges(path[:-1], path[1:]).all()
+
+    def test_route_is_minimal(self):
+        shape = (8, 8)
+        rng = spawn_rng(0)
+        for _ in range(30):
+            s, d = rng.integers(0, 64, 2)
+            path = dimension_ordered_route(shape, int(s), int(d))
+            assert len(path) - 1 == route_length(shape, int(s), int(d))
+
+    def test_wraparound_shorter(self):
+        # 0 -> 7 on C_8 must go backwards (1 hop), not 7 hops
+        assert route_length((8,), 0, 7) == 1
+
+    def test_mean_distance_formula(self):
+        # C_4: distances 0,1,2,1 -> mean 1; two axes -> 2
+        assert all_pairs_mean_distance((4, 4)) == pytest.approx(2.0)
+
+
+class TestTraffic:
+    @pytest.mark.parametrize("pattern", sorted(TRAFFIC_PATTERNS))
+    def test_pairs_in_range(self, pattern):
+        t = make_traffic((6, 6), pattern, 50, spawn_rng(1, pattern))
+        assert t.ndim == 2 and t.shape[1] == 2
+        assert (t >= 0).all() and (t < 36).all()
+
+    def test_neighbor_pattern_distance_one(self):
+        t = make_traffic((8, 8), "neighbor", 40, spawn_rng(2))
+        for s, d in t:
+            assert route_length((8, 8), int(s), int(d)) == 1
+
+    def test_unknown_pattern(self):
+        with pytest.raises(KeyError):
+            make_traffic((4, 4), "nope", 5, spawn_rng(0))
+
+
+class TestEngine:
+    def test_all_delivered(self):
+        t = make_traffic((6, 6), "uniform", 40, spawn_rng(3))
+        res = simulate((6, 6), t)
+        assert res.delivered == res.total
+
+    def test_single_message_latency_is_distance(self):
+        t = np.array([[0, 8]])
+        res = simulate((4, 4), t)
+        assert res.latencies[0] == route_length((4, 4), 0, 8)
+
+    def test_contention_increases_latency(self):
+        # many messages into one destination > isolated latencies
+        hot = 0
+        srcs = np.arange(1, 13)
+        t = np.stack([srcs, np.full_like(srcs, hot)], axis=1)
+        res = simulate((6, 6), t)
+        iso = max(route_length((6, 6), int(s), hot) for s in srcs)
+        assert res.latencies.max() > iso
+
+    def test_latency_stats_fields(self):
+        t = make_traffic((5, 5), "uniform", 20, spawn_rng(4))
+        stats = latency_stats(simulate((5, 5), t))
+        assert stats["delivered"] == stats["total"]
+        assert stats["p99"] >= stats["p50"]
+
+    def test_recovered_torus_routes_identically(self, bn2_small):
+        """Dilation-1 embedding: the recovered torus is exactly an n^d torus,
+        so hop counts match the pristine torus."""
+        from repro.core.bn import BTorus
+
+        bt = BTorus(bn2_small)
+        rec = bt.recover(np.zeros(bn2_small.shape, dtype=bool))
+        shape = rec.guest_shape()
+        t = make_traffic(shape, "transpose", 30, spawn_rng(5))
+        res = simulate(shape, t)
+        assert res.delivered == res.total

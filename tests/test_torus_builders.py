@@ -1,0 +1,85 @@
+"""Torus/mesh/product builders agree with networkx references (Section 2)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.product import direct_product
+from repro.topology.torus import cycle_graph, mesh_graph, path_graph, torus_graph
+
+
+class TestFactors:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7])
+    def test_cycle(self, n):
+        g = cycle_graph(n)
+        # networkx's cycle_graph(1) has a self-loop; ours is an isolated node
+        # (the right semantics for direct products).
+        ref = nx.empty_graph(1) if n == 1 else nx.cycle_graph(n)
+        assert nx.is_isomorphic(g.to_networkx(), ref)
+
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_path(self, n):
+        g = path_graph(n)
+        assert nx.is_isomorphic(g.to_networkx(), nx.path_graph(n))
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            cycle_graph(0)
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+
+class TestTorus:
+    @pytest.mark.parametrize("shape", [(3, 4), (5, 5), (2, 3), (3, 3, 3)])
+    def test_matches_networkx(self, shape):
+        g = torus_graph(shape)
+        ref = nx.cycle_graph(shape[0])
+        for n in shape[1:]:
+            ref = nx.cartesian_product(ref, nx.cycle_graph(n))
+        assert nx.is_isomorphic(g.to_networkx(), ref)
+
+    def test_degree_regular(self):
+        g = torus_graph((5, 6))
+        assert set(g.degrees().tolist()) == {4}
+
+    def test_node_and_edge_counts(self):
+        g = torus_graph((4, 7))
+        assert g.num_nodes == 28
+        assert g.num_edges == 2 * 28  # 2d * N / 2
+
+
+class TestMesh:
+    @pytest.mark.parametrize("shape", [(3, 4), (2, 2), (4, 3, 2)])
+    def test_matches_networkx(self, shape):
+        g = mesh_graph(shape)
+        ref = nx.path_graph(shape[0])
+        for n in shape[1:]:
+            ref = nx.cartesian_product(ref, nx.path_graph(n))
+        assert nx.is_isomorphic(g.to_networkx(), ref)
+
+    def test_mesh_is_subgraph_of_torus(self):
+        mesh = mesh_graph((4, 5))
+        torus = torus_graph((4, 5))
+        assert torus.has_edges(mesh.edges()[:, 0], mesh.edges()[:, 1]).all()
+
+
+class TestDirectProduct:
+    def test_product_of_cycles_is_torus(self):
+        g = direct_product([cycle_graph(4), cycle_graph(5)])
+        assert nx.is_isomorphic(g.to_networkx(), torus_graph((4, 5)).to_networkx())
+
+    def test_product_of_paths_is_mesh(self):
+        g = direct_product([path_graph(3), path_graph(4)])
+        assert nx.is_isomorphic(g.to_networkx(), mesh_graph((3, 4)).to_networkx())
+
+    def test_submesh_of_torus_claim(self):
+        """Section 2: the torus contains the same-size mesh as a subgraph."""
+        torus = torus_graph((5, 5))
+        mesh = mesh_graph((5, 5))
+        assert torus.has_edges(mesh.edges()[:, 0], mesh.edges()[:, 1]).all()
+
+    def test_empty_factor_list(self):
+        with pytest.raises(ValueError):
+            direct_product([])

@@ -1,0 +1,74 @@
+"""Tests for figure regeneration and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.viz import figure1, figure2, render_bands
+from repro.viz.ascii_art import render_row_trace
+
+
+class TestFigures:
+    def test_figure1_structure(self):
+        fig = figure1()
+        assert "Figure 1" in fig.title
+        assert fig.meta["bands"] == 6
+        assert fig.meta["wandering_bands"] >= 1  # bands wind around regions
+        # the fault is masked: 'X' present, '!' absent
+        assert "X" in fig.text and "!" not in fig.text
+
+    def test_figure2_has_jumps(self):
+        fig = figure2()
+        assert fig.meta["jumps"] >= 1
+        assert "*" in fig.text
+        assert fig.meta["verified_nodes"] == 36 ** 2
+
+    def test_render_rejects_3d(self, bn3_small):
+        import numpy as np
+
+        from repro.core.placement import place_bands
+
+        bands = place_bands(bn3_small, np.zeros(bn3_small.shape, dtype=bool))
+        with pytest.raises(ValueError):
+            render_bands(bn3_small, bands)
+
+
+class TestCLI:
+    def test_info_bn(self, capsys):
+        assert main(["info", "bn", "--b", "4", "--t", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "B^2_96" in out and "degree=10" in out
+
+    def test_info_dn(self, capsys):
+        assert main(["info", "dn", "--n", "70", "--b", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k = 8" in out
+
+    def test_bn_trial(self, capsys):
+        assert main(["bn-trial", "--trials", "3"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_dn_attack(self, capsys):
+        assert main(["dn-attack", "--trials", "1", "--patterns", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "random" in out
+
+    def test_figures_cmd(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out
+
+    def test_route_cmd(self, capsys):
+        assert main(["route", "--messages", "50", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_lifetime_cmd(self, capsys):
+        assert main(["lifetime", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "median=" in out and "theory scale" in out
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
