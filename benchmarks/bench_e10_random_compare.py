@@ -4,20 +4,19 @@ FKP-style replication needs per-cluster redundancy r ~ log(n) to survive
 constant p (its survival is exactly (1 - p^r)^{n^2}); A^2's supernode size
 h depends only on the *defect rate and reliability target*, not on n — so
 its degree curve is flat where replication's grows logarithmically.  Both
-are sized here for the same target failure probability, then measured.
+are sized here for the same target failure probability, then measured via
+two :class:`ExperimentSpec`\\ s against the ``an`` and ``replication``
+registry entries.
 """
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
-from repro.analysis.montecarlo import MonteCarlo
+from repro.api import ExperimentRunner, ExperimentSpec
 from repro.baselines.replication import ReplicatedTorus
-from repro.core.an import ATorus, an_params_for_reliability
-from repro.core.bn import TrialOutcome
+from repro.core.an import an_params_for_reliability
 from repro.core.params import BnParams
-from repro.errors import ReconstructionError
 from repro.util.tables import Table
 
 P = 0.25
@@ -63,30 +62,29 @@ def test_e10_measured_survival(benchmark, report):
     def compute():
         base = BnParams(d=2, b=3, s=1, t=2)
         ap = an_params_for_reliability(base, k_sub=2, p=P, q=0.0)
-        at = ATorus(ap)
+        r_needed = ReplicatedTorus(ap.n, 2).replication_for_target(P, TARGET)
 
-        def a_trial(seed: int) -> TrialOutcome:
-            try:
-                at.recover(at.sample_faults(P, 0.0, seed))
-                return TrialOutcome(success=True, category="ok")
-            except ReconstructionError as exc:
-                return TrialOutcome(success=False, category=exc.category)
+        runner = ExperimentRunner()
+        a_spec = ExperimentSpec.from_grid(
+            "an",
+            {"d": base.d, "b": base.b, "s": base.s, "t": base.t,
+             "k_sub": 2, "h": ap.h},
+            p_values=[P], trials=TRIALS, name="e10 an",
+        )
+        r_spec = ExperimentSpec.from_grid(
+            "replication",
+            {"n": ap.n, "d": 2, "replication": r_needed},
+            p_values=[P], trials=TRIALS, name="e10 replication",
+        )
+        a_res = runner.run(a_spec).points[0].result
+        r_res = runner.run(r_spec).points[0].result
+        rt = ReplicatedTorus(ap.n, 2, replication=r_needed)
+        return ap, a_res, rt, r_res
 
-        a_res = MonteCarlo(a_trial).run(TRIALS)
-
-        rt = ReplicatedTorus(ap.n, 2, replication=ReplicatedTorus(ap.n, 2).replication_for_target(P, TARGET))
-
-        def r_trial(seed: int) -> TrialOutcome:
-            ok = rt.survives(P, seed)
-            return TrialOutcome(success=ok, category="ok" if ok else "supernode")
-
-        r_res = MonteCarlo(r_trial).run(TRIALS)
-        return ap, at, a_res, rt, r_res
-
-    ap, at, a_res, rt, r_res = run_once(benchmark, compute)
+    ap, a_res, rt, r_res = run_once(benchmark, compute)
     table = Table(
         ["design", "n", "nodes", "degree", "survival"],
-        title=f"E10b: measured survival at p = {P} ({8} trials)",
+        title=f"E10b: measured survival at p = {P} (8 trials)",
     )
     table.add_row(["A^2 (Thm 1)", ap.n, ap.num_nodes, ap.degree, f"{a_res.success_rate:.2f}"])
     table.add_row(["replication", ap.n, rt.num_nodes, rt.degree, f"{r_res.success_rate:.2f}"])

@@ -4,6 +4,9 @@ Executable claims: an explicit constant-degree expander of ~2-3x the path
 size retains an n-node path after a constant fraction of faults (random
 and adversarial), and the product construction yields a d-dimensional mesh
 tolerating O(n) worst-case faults.
+
+The fault-fraction sweep is one :class:`ExperimentSpec` against the
+``alon_chung`` registry entry.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 from conftest import run_once
 
+from repro.api import ExperimentRunner, ExperimentSpec
 from repro.baselines.alon_chung import AlonChungMesh, AlonChungPath
 from repro.baselines.expander import gabber_galil_expander, spectral_expansion
 from repro.util.rng import spawn_rng
@@ -21,16 +25,21 @@ def test_e11_path_survival_vs_fault_fraction(benchmark, report):
     n = 60
     fractions = [0.0, 0.1, 0.2, 0.3, 0.4]
     TRIALS = 5
+    spec = ExperimentSpec.from_grid(
+        "alon_chung",
+        {"n": n, "blowup": 3.0},
+        p_values=fractions,
+        trials=TRIALS,
+        name="e11 path survival",
+    )
 
     def compute():
         ac = AlonChungPath(n, blowup=3.0)
-        rows = []
-        for frac in fractions:
-            wins = 0
-            for seed in range(TRIALS):
-                faulty = spawn_rng(seed, "e11", frac).random(ac.num_nodes) < frac
-                wins += ac.survives(faulty, rng=spawn_rng(seed, "e11-dfs"))
-            rows.append([frac, f"{wins}/{TRIALS}"])
+        result = ExperimentRunner().run(spec)
+        rows = [
+            [pt.fault_spec.p, f"{pt.result.successes}/{pt.result.trials}"]
+            for pt in result.points
+        ]
         return ac, rows
 
     ac, rows = run_once(benchmark, compute)

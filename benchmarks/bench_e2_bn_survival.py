@@ -4,15 +4,17 @@ The paper proves survival probability 1 - n^{-Omega(log log n)} at node
 failure rate log^{-3d} n.  The executable shape: at ``p = b^{-3d}``,
 verified recovery succeeds in nearly all trials, and the rate *improves*
 as b (hence n) grows — despite the absolute fault count growing.
+
+Each case is a declarative :class:`ExperimentSpec` against the ``bn``
+registry entry; the runner reproduces the historical driver loop's
+outcomes exactly (same seeds, same RNG keying).
 """
 
 from __future__ import annotations
 
-import pytest
 from conftest import run_once
 
-from repro.analysis.montecarlo import MonteCarlo
-from repro.core.bn import BTorus
+from repro.api import ExperimentRunner, ExperimentSpec
 from repro.core.params import BnParams
 from repro.util.tables import Table
 
@@ -24,13 +26,24 @@ CASES = [
 ]
 
 
+def spec_for(label: str, params: BnParams, trials: int) -> ExperimentSpec:
+    return ExperimentSpec.from_grid(
+        "bn",
+        {"d": params.d, "b": params.b, "s": params.s, "t": params.t},
+        p_values=[params.paper_fault_probability],
+        trials=trials,
+        name=f"e2 {label}",
+    )
+
+
 def test_e2_survival_at_paper_rate(benchmark, report):
+    runner = ExperimentRunner()
+
     def compute():
         rows = []
         for label, params, trials in CASES:
-            bt = BTorus(params)
             p = params.paper_fault_probability
-            res = MonteCarlo(lambda seed: bt.trial(p, seed)).run(trials)
+            res = runner.run(spec_for(label, params, trials)).points[0].result
             lo, hi = res.ci
             rows.append(
                 [label, params.n, params.num_nodes, f"{p:.2e}", f"{res.mean_faults:.1f}",

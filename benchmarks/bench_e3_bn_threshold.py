@@ -4,14 +4,18 @@ The theorem operates at p = b^{-3d}; pushing p beyond it must degrade
 survival monotonically (modulo Monte-Carlo noise), with the 50% crossover
 sitting well above the theorem's operating point — i.e. the paper's regime
 has slack, it is not a cliff edge.
+
+The sweep is one :class:`ExperimentSpec` whose grid spans the probability
+ladder; points are independent seed trees, so extending the ladder never
+perturbs existing points.
 """
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
-from repro.analysis.sweep import estimate_threshold, sweep_bn_threshold
+from repro.analysis.sweep import ThresholdPoint, estimate_threshold
+from repro.api import ExperimentRunner, ExperimentSpec
 from repro.core.params import BnParams
 from repro.util.tables import Table
 
@@ -22,9 +26,17 @@ TRIALS = 20
 def test_e3_threshold_sweep(benchmark, report):
     p0 = PARAMS.paper_fault_probability
     ps = [p0 / 4, p0, 4 * p0, 16 * p0, 64 * p0, 256 * p0]
+    spec = ExperimentSpec.from_grid(
+        "bn",
+        {"d": PARAMS.d, "b": PARAMS.b, "s": PARAMS.s, "t": PARAMS.t},
+        p_values=ps,
+        trials=TRIALS,
+        name="e3 threshold",
+    )
 
     def compute():
-        return sweep_bn_threshold(PARAMS, ps, TRIALS)
+        result = ExperimentRunner().run(spec)
+        return [ThresholdPoint(pt.fault_spec.p, pt.result) for pt in result.points]
 
     points = run_once(benchmark, compute)
     table = Table(

@@ -4,42 +4,41 @@ Claims verified: node count = c n^2 (exact), degree O(log log n) in the
 sense that the supernode size h — the degree driver — does not grow with n
 (it depends only on the target reliability), and verified survival at
 p in {0.1, 0.2, 0.3}.
+
+Each p is one :class:`ExperimentSpec` against the ``an`` registry entry
+(the supernode size is solved by ``an_params_for_reliability`` and passed
+as an explicit factory parameter, keeping the spec fully declarative).
 """
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
-from repro.analysis.montecarlo import MonteCarlo
-from repro.core.an import ATorus, an_params_for_reliability
-from repro.core.bn import TrialOutcome
+from repro.api import ExperimentRunner, ExperimentSpec
+from repro.core.an import an_params_for_reliability
 from repro.core.params import BnParams
-from repro.errors import ReconstructionError
 from repro.util.tables import Table
 
 BASE = BnParams(d=2, b=3, s=1, t=2)
 TRIALS = 10
 
 
-def an_trial(at: ATorus, p: float, q: float, seed: int) -> TrialOutcome:
-    try:
-        rec = at.recover(at.sample_faults(p, q, seed))
-        return TrialOutcome(
-            success=True, category="ok",
-            num_faults=int(rec.stats["good_node_fraction"] * 0),
-        )
-    except ReconstructionError as exc:
-        return TrialOutcome(success=False, category=exc.category)
-
-
 def test_e5_an_survival_table(benchmark, report):
+    runner = ExperimentRunner()
+
     def compute():
         rows = []
         for p in (0.1, 0.2, 0.3):
             params = an_params_for_reliability(BASE, k_sub=2, p=p, q=0.0)
-            at = ATorus(params)
-            res = MonteCarlo(lambda seed: an_trial(at, p, 0.0, seed)).run(TRIALS)
+            spec = ExperimentSpec.from_grid(
+                "an",
+                {"d": BASE.d, "b": BASE.b, "s": BASE.s, "t": BASE.t,
+                 "k_sub": 2, "h": params.h},
+                p_values=[p],
+                trials=TRIALS,
+                name=f"e5 p={p}",
+            )
+            res = runner.run(spec).points[0].result
             lo, hi = res.ci
             rows.append(
                 [p, params.n, params.h, params.num_nodes,

@@ -4,6 +4,9 @@ Half-edge machinery end to end: good nodes must discount half-edge-heavy
 nodes, the greedy must dodge faulty edges, and the verified embedding must
 avoid them.  Also checks the feasibility boundary: q outside inequality
 (1) is rejected.
+
+Each q is one :class:`ExperimentSpec` against ``an`` with the edge-fault
+rate carried in the :class:`FaultSpec` grid point.
 """
 
 from __future__ import annotations
@@ -11,11 +14,9 @@ from __future__ import annotations
 import pytest
 from conftest import run_once
 
-from repro.analysis.montecarlo import MonteCarlo
-from repro.core.an import ATorus, an_params_for_reliability
-from repro.core.bn import TrialOutcome
+from repro.api import ExperimentRunner, ExperimentSpec
+from repro.core.an import an_params_for_reliability
 from repro.core.params import BnParams
-from repro.errors import ReconstructionError
 from repro.util.tables import Table
 
 BASE = BnParams(d=2, b=3, s=1, t=2)
@@ -25,21 +26,22 @@ P = 0.15
 
 def test_e6_edge_fault_sweep(benchmark, report):
     qs = [0.0, 5e-4, 2e-3]
+    runner = ExperimentRunner()
 
     def compute():
         rows = []
         for q in qs:
             params = an_params_for_reliability(BASE, k_sub=2, p=P, q=q)
-            at = ATorus(params)
-
-            def trial(seed: int, q=q, at=at) -> TrialOutcome:
-                try:
-                    at.recover(at.sample_faults(P, q, seed))
-                    return TrialOutcome(success=True, category="ok")
-                except ReconstructionError as exc:
-                    return TrialOutcome(success=False, category=exc.category)
-
-            res = MonteCarlo(trial).run(TRIALS)
+            spec = ExperimentSpec.from_grid(
+                "an",
+                {"d": BASE.d, "b": BASE.b, "s": BASE.s, "t": BASE.t,
+                 "k_sub": 2, "h": params.h},
+                p_values=[P],
+                q=q,
+                trials=TRIALS,
+                name=f"e6 q={q}",
+            )
+            res = runner.run(spec).points[0].result
             rows.append(
                 [q, params.h, params.degree, f"{params.c_effective:.1f}",
                  f"{res.success_rate:.2f}"]

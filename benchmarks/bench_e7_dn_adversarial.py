@@ -1,16 +1,16 @@
 """E7 — Theorem 13: D^2_{n,k} tolerates ANY k faults; size and degree claims.
 
 Campaign table: every adversarial pattern at exactly the rated budget k
-must yield 100% verified recovery.  Structure table: degree exactly 8 and
+must yield 100% verified recovery (one :class:`ExperimentSpec` whose grid
+spans the adversary patterns).  Structure table: degree exactly 8 and
 nodes <= (n + k^{4/3})^2.
 """
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
-from repro.analysis.sweep import sweep_dn_adversarial
+from repro.api import ExperimentRunner, ExperimentSpec, FaultSpec
 from repro.core.dn import DTorus
 from repro.core.params import DnParams
 from repro.faults.adversary import ADVERSARY_PATTERNS
@@ -22,9 +22,17 @@ TRIALS = 6
 
 def test_e7_adversarial_campaigns(benchmark, report):
     patterns = sorted(ADVERSARY_PATTERNS)
+    spec = ExperimentSpec(
+        construction="dn",
+        params={"d": PARAMS.d, "n": PARAMS.n, "b": PARAMS.b},
+        grid=tuple(FaultSpec(pattern=pattern, k=PARAMS.k) for pattern in patterns),
+        trials=TRIALS,
+        name="e7 adversarial",
+    )
 
     def compute():
-        return sweep_dn_adversarial(PARAMS, patterns, TRIALS)
+        result = ExperimentRunner().run(spec)
+        return {pt.fault_spec.pattern: pt.result for pt in result.points}
 
     results = run_once(benchmark, compute)
     table = Table(

@@ -1,7 +1,26 @@
-"""Legacy setup shim: the reproduction environment is offline (no `wheel`
-package), so `pip install -e .` must go through setuptools' classic
-develop-mode path. All real metadata lives in pyproject.toml."""
+"""Classic setuptools metadata.
 
-from setuptools import setup
+Deliberately no pyproject.toml.  In environments with network access (or
+`wheel` preinstalled), ``pip install -e .`` works and installs the
+``repro-ft`` console script.  The offline reproduction container can run
+*no* form of editable install (modern pip insists on a PEP 517 metadata
+build, which needs ``wheel``, which is absent and cannot be downloaded) —
+there, use ``export PYTHONPATH=src`` as the README's quickstart says.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-ft-torus",
+    version="1.0.0",
+    description=(
+        "Reproduction of Tamaki, Construction of the Mesh and the Torus "
+        "Tolerating a Large Number of Faults (SPAA 1994)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy", "scipy"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis", "networkx"]},
+    entry_points={"console_scripts": ["repro-ft = repro.cli:main"]},
+)

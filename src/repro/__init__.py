@@ -11,6 +11,9 @@ Public API (see README for a tour):
   tolerates constant node/edge failure probabilities w.h.p.
 * :class:`repro.core.DTorus`    — Theorem 3/13: degree ``4d``, tolerates any
   ``k`` worst-case faults, always.
+* ``repro.api``                 — the unified ``Construction`` protocol,
+  string-keyed registry (``get("bn"|"an"|"dn"|...)``) and the serial /
+  multiprocess ``ExperimentRunner`` powering the CLI and all benchmarks.
 * ``repro.baselines``           — Alon–Chung expander construction (Thm 12),
   FKP-style replication, spare-rows comparators.
 * ``repro.analysis``            — Monte-Carlo engine, parameter sweeps and
@@ -27,6 +30,6 @@ __all__ = ["__version__", "errors"]
 def __getattr__(name):  # lazy subpackage access without import cycles
     import importlib
 
-    if name in {"core", "topology", "faults", "baselines", "analysis", "sim", "viz", "util"}:
+    if name in {"api", "core", "topology", "faults", "baselines", "analysis", "sim", "viz", "util"}:
         return importlib.import_module(f"repro.{name}")
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

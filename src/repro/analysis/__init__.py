@@ -1,17 +1,34 @@
-"""Experiment tooling: Monte-Carlo driver, sweeps and theory predictions."""
+"""Experiment tooling: Monte-Carlo driver, sweeps and theory predictions.
 
-from repro.analysis.stats import wilson_interval, binomial_tail
-from repro.analysis.montecarlo import MonteCarlo, MCResult
-from repro.analysis.sweep import sweep_bn_threshold, sweep_dn_adversarial
-from repro.analysis.chernoff import predict_healthiness, HealthinessPrediction
+Exports resolve lazily: ``repro.api.experiment`` imports the Monte-Carlo
+aggregator from this package while ``repro.analysis.sweep`` layers on top
+of the experiment runner, so an eager ``__init__`` would close an import
+cycle.
+"""
 
-__all__ = [
-    "wilson_interval",
-    "binomial_tail",
-    "MonteCarlo",
-    "MCResult",
-    "sweep_bn_threshold",
-    "sweep_dn_adversarial",
-    "predict_healthiness",
-    "HealthinessPrediction",
-]
+from __future__ import annotations
+
+_EXPORTS = {
+    "wilson_interval": "repro.analysis.stats",
+    "binomial_tail": "repro.analysis.stats",
+    "MonteCarlo": "repro.analysis.montecarlo",
+    "MCResult": "repro.analysis.montecarlo",
+    "sweep_bn_threshold": "repro.analysis.sweep",
+    "sweep_dn_adversarial": "repro.analysis.sweep",
+    "predict_healthiness": "repro.analysis.chernoff",
+    "HealthinessPrediction": "repro.analysis.chernoff",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    import importlib
+
+    if name in _EXPORTS:
+        return getattr(importlib.import_module(_EXPORTS[name]), name)
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

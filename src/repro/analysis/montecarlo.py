@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.analysis.stats import wilson_interval
-from repro.core.bn import TrialOutcome
+from repro.api.outcome import TrialOutcome
 
 __all__ = ["MCResult", "MonteCarlo"]
 
@@ -59,6 +59,57 @@ class MCResult:
         if self.health_checked:
             parts.append(f"healthy={self.healthy_rate:.3f} sufficient={self.sufficient_rate:.3f}")
         return "; ".join(parts)
+
+    # -- persistence / merging ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation (see docs/results-format.md)."""
+        return {
+            "trials": self.trials,
+            "successes": self.successes,
+            "categories": {k: int(v) for k, v in sorted(self.categories.items())},
+            "healthy": self.healthy,
+            "sufficient": self.sufficient,
+            "health_checked": self.health_checked,
+            "mean_faults": self.mean_faults,
+            "strategies": {k: int(v) for k, v in sorted(self.strategies.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MCResult":
+        return cls(
+            trials=int(d["trials"]),
+            successes=int(d["successes"]),
+            categories=Counter(d.get("categories", {})),
+            healthy=int(d.get("healthy", 0)),
+            sufficient=int(d.get("sufficient", 0)),
+            health_checked=int(d.get("health_checked", 0)),
+            mean_faults=float(d.get("mean_faults", 0.0)),
+            strategies=Counter(d.get("strategies", {})),
+        )
+
+    @classmethod
+    def merged(cls, parts: Sequence["MCResult"]) -> "MCResult":
+        """Deterministic merge of disjoint trial batches.
+
+        All tallies are integer sums; ``mean_faults`` is the trial-weighted
+        mean accumulated in the order of ``parts`` — merging the same parts
+        in the same order always reproduces the same float, which is what
+        makes serial and parallel experiment runs byte-identical.
+        """
+        out = cls(trials=0, successes=0)
+        total_faults = 0.0
+        for part in parts:
+            out.trials += part.trials
+            out.successes += part.successes
+            out.categories.update(part.categories)
+            out.healthy += part.healthy
+            out.sufficient += part.sufficient
+            out.health_checked += part.health_checked
+            out.strategies.update(part.strategies)
+            total_faults += part.mean_faults * part.trials
+        out.mean_faults = total_faults / out.trials if out.trials else 0.0
+        return out
 
 
 class MonteCarlo:

@@ -1,4 +1,12 @@
-"""Parameter sweeps: the workhorses behind the benchmark tables."""
+"""Parameter sweeps: thin declarative layers over the experiment runner.
+
+Both sweeps build an :class:`~repro.api.experiment.ExperimentSpec` and hand
+it to :class:`~repro.api.experiment.ExperimentRunner`; pass ``workers > 1``
+to fan the trials out over a process pool.  Seed discipline is unchanged
+from the original hand-rolled loops (trial ``i`` runs with seed
+``seed0 + i`` and the constructions' historical RNG keying), so results
+are bit-for-bit what the pre-runner versions produced.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +15,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.analysis.montecarlo import MCResult, MonteCarlo
-from repro.core.bn import BTorus, TrialOutcome
-from repro.core.dn import DTorus
+from repro.analysis.montecarlo import MCResult
+from repro.api.experiment import ExperimentRunner, ExperimentSpec
+from repro.api.protocol import FaultSpec
 from repro.core.params import BnParams, DnParams
-from repro.errors import ReconstructionError
-from repro.faults.adversary import adversarial_node_faults
-from repro.util.rng import spawn_rng
 
 __all__ = ["sweep_bn_threshold", "sweep_dn_adversarial", "ThresholdPoint"]
 
@@ -32,18 +37,24 @@ def sweep_bn_threshold(
     strategy: str = "auto",
     check_health: bool = False,
     seed0: int = 0,
+    workers: int = 1,
 ) -> list[ThresholdPoint]:
     """Survival rate of ``B^d_n`` across a fault-probability sweep."""
-    bt = BTorus(params)
-    out = []
-    for p in p_values:
-        mc = MonteCarlo(
-            lambda seed, p=p: bt.trial(
-                p, seed, strategy=strategy, check_health=check_health
-            )
-        )
-        out.append(ThresholdPoint(p=float(p), result=mc.run(trials, seed0=seed0)))
-    return out
+    spec = ExperimentSpec.from_grid(
+        "bn",
+        {
+            "d": params.d, "b": params.b, "s": params.s, "t": params.t,
+            "strategy": strategy, "check_health": check_health,
+        },
+        p_values=[float(p) for p in p_values],
+        trials=trials,
+        seed0=seed0,
+        name="bn-threshold",
+    )
+    result = ExperimentRunner(workers=workers).run(spec)
+    return [
+        ThresholdPoint(p=pt.fault_spec.p, result=pt.result) for pt in result.points
+    ]
 
 
 def sweep_dn_adversarial(
@@ -53,25 +64,23 @@ def sweep_dn_adversarial(
     *,
     k: int | None = None,
     seed0: int = 0,
+    workers: int = 1,
 ) -> dict[str, MCResult]:
     """Adversarial campaign against ``D^d_{n,k}``: for each pattern, inject
     exactly ``k`` faults and count verified recoveries."""
-    dt = DTorus(params)
-    k = params.k if k is None else int(k)
-    results: dict[str, MCResult] = {}
-    for pattern in patterns:
-
-        def trial(seed: int, pattern=pattern) -> TrialOutcome:
-            rng = spawn_rng(seed, "dn-sweep", pattern, params.n, params.b)
-            faults = adversarial_node_faults(params.shape, k, pattern, rng)
-            try:
-                dt.recover(faults)
-                return TrialOutcome(success=True, category="ok", num_faults=k)
-            except ReconstructionError as exc:
-                return TrialOutcome(success=False, category=exc.category, num_faults=k)
-
-        results[pattern] = MonteCarlo(trial).run(trials, seed0=seed0)
-    return results
+    spec = ExperimentSpec(
+        construction="dn",
+        params={"d": params.d, "n": params.n, "b": params.b},
+        grid=tuple(
+            FaultSpec(pattern=pattern, k=params.k if k is None else int(k))
+            for pattern in patterns
+        ),
+        trials=trials,
+        seed0=seed0,
+        name="dn-adversarial",
+    )
+    result = ExperimentRunner(workers=workers).run(spec)
+    return {pt.fault_spec.pattern: pt.result for pt in result.points}
 
 
 def estimate_threshold(points: list[ThresholdPoint], level: float = 0.5) -> float:

@@ -1,0 +1,48 @@
+"""Unified construction protocol, registry and experiment runner.
+
+The one import surface for running experiments against any construction::
+
+    from repro.api import ExperimentRunner, ExperimentSpec, FaultSpec, get
+
+    c = get("dn", d=2, n=70, b=2)            # Construction protocol object
+    out = c.trial(FaultSpec(pattern="random", k=8), seed=0)
+
+    spec = ExperimentSpec.from_grid(
+        "bn", {"b": 4}, p_values=[1e-3, 4e-3], trials=100, name="threshold"
+    )
+    result = ExperimentRunner(workers=4).run(spec)
+    result.save("results.json")
+
+Exports resolve lazily so that ``repro.api.outcome`` (imported by
+``repro.core.bn`` for the backwards-compatible ``TrialOutcome`` re-export)
+never drags the adapters — and hence the whole core — into a cycle.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "TrialOutcome": "repro.api.outcome",
+    "Construction": "repro.api.protocol",
+    "FaultSpec": "repro.api.protocol",
+    "available": "repro.api.registry",
+    "get": "repro.api.registry",
+    "register": "repro.api.registry",
+    "ExperimentResult": "repro.api.experiment",
+    "ExperimentRunner": "repro.api.experiment",
+    "ExperimentSpec": "repro.api.experiment",
+    "PointResult": "repro.api.experiment",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    import importlib
+
+    if name in _EXPORTS:
+        return getattr(importlib.import_module(_EXPORTS[name]), name)
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,258 @@
+"""Declarative experiments over registered constructions, serial or parallel.
+
+An :class:`ExperimentSpec` names a construction (registry key + factory
+params), a grid of :class:`~repro.api.protocol.FaultSpec` points, a trial
+count and a seed origin.  An :class:`ExperimentRunner` executes the spec —
+with a ``multiprocessing`` pool when ``workers > 1`` — and returns an
+:class:`ExperimentResult` holding one merged
+:class:`~repro.analysis.montecarlo.MCResult` per grid point.
+
+Determinism contract
+--------------------
+Trial ``i`` of every grid point always runs with seed ``seed0 + i`` and
+each construction's own seed-tree keying, so results are a pure function
+of the spec.  Work is split into fixed-size seed chunks *independently of
+the worker count* and merged in chunk order in the parent process;
+``ExperimentRunner(workers=1)`` and ``workers=N`` therefore produce
+byte-identical JSON (asserted by tests/test_api.py).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.analysis.montecarlo import MCResult, MonteCarlo
+from repro.api.protocol import FaultSpec
+
+__all__ = ["ExperimentResult", "ExperimentRunner", "ExperimentSpec", "PointResult"]
+
+RESULT_FORMAT = "repro-experiment-v1"
+
+#: Seeds per work unit.  Part of the determinism contract: changing it can
+#: move float rounding in the merged ``mean_faults`` by an ulp, so it is a
+#: spec-level field with a fixed default, never derived from ``workers``.
+DEFAULT_CHUNK_SIZE = 16
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, serialisable description of one experiment."""
+
+    construction: str
+    params: Mapping = field(default_factory=dict)
+    grid: tuple[FaultSpec, ...] = ()
+    trials: int = 10
+    seed0: int = 0
+    name: str = ""
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if not self.grid:
+            raise ValueError("grid must contain at least one FaultSpec")
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "grid", tuple(self.grid))
+
+    @classmethod
+    def from_grid(
+        cls,
+        construction: str,
+        params: Mapping | None = None,
+        *,
+        p_values: Sequence[float] = (),
+        q: float = 0.0,
+        patterns: Sequence[str] = (),
+        k: int | None = None,
+        trials: int = 10,
+        seed0: int = 0,
+        name: str = "",
+    ) -> "ExperimentSpec":
+        """Build the fault grid from value lists.
+
+        ``patterns`` yields adversarial points (budget ``k``); ``p_values``
+        yields Bernoulli points at edge-fault rate ``q``.  Both may be given
+        (patterns first, then probabilities).
+        """
+        grid = [FaultSpec(pattern=pat, k=k) for pat in patterns]
+        grid += [FaultSpec(p=float(p), q=q) for p in p_values]
+        return cls(
+            construction=construction,
+            params=dict(params or {}),
+            grid=tuple(grid),
+            trials=trials,
+            seed0=seed0,
+            name=name,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "construction": self.construction,
+            "params": dict(self.params),
+            "grid": [fs.to_dict() for fs in self.grid],
+            "trials": self.trials,
+            "seed0": self.seed0,
+            "name": self.name,
+            "chunk_size": self.chunk_size,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentSpec":
+        return cls(
+            construction=d["construction"],
+            params=dict(d.get("params", {})),
+            grid=tuple(FaultSpec.from_dict(fs) for fs in d["grid"]),
+            trials=int(d["trials"]),
+            seed0=int(d.get("seed0", 0)),
+            name=d.get("name", ""),
+            chunk_size=int(d.get("chunk_size", DEFAULT_CHUNK_SIZE)),
+        )
+
+
+@dataclass
+class PointResult:
+    """Merged outcome of one fault-grid point."""
+
+    fault_spec: FaultSpec
+    result: MCResult
+
+    def to_dict(self) -> dict:
+        return {"fault_spec": self.fault_spec.to_dict(), "result": self.result.to_dict()}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PointResult":
+        return cls(
+            fault_spec=FaultSpec.from_dict(d["fault_spec"]),
+            result=MCResult.from_dict(d["result"]),
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """All grid points of one executed spec (timing kept out of the JSON so
+    serial and parallel runs of the same spec serialise identically)."""
+
+    spec: ExperimentSpec
+    points: list[PointResult]
+    elapsed: float = 0.0
+
+    def __getitem__(self, label: str) -> MCResult:
+        for pt in self.points:
+            if pt.fault_spec.label() == label:
+                return pt.result
+        raise KeyError(label)
+
+    def to_dict(self) -> dict:
+        return {
+            "format": RESULT_FORMAT,
+            "spec": self.spec.to_dict(),
+            "points": [pt.to_dict() for pt in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExperimentResult":
+        if d.get("format") != RESULT_FORMAT:
+            raise ValueError(f"unrecognised result format {d.get('format')!r}")
+        return cls(
+            spec=ExperimentSpec.from_dict(d["spec"]),
+            points=[PointResult.from_dict(pt) for pt in d["points"]],
+        )
+
+    def save(self, path) -> None:
+        from repro.util.serialization import save_json
+
+        save_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path) -> "ExperimentResult":
+        from repro.util.serialization import load_json
+
+        return cls.from_dict(load_json(path))
+
+    def summary(self) -> str:
+        head = self.spec.name or self.spec.construction
+        lines = [f"{head}: {self.spec.trials} trials/point ({self.elapsed:.2f}s)"]
+        for pt in self.points:
+            lines.append(f"  {pt.fault_spec.label():24s} {pt.result.summary()}")
+        return "\n".join(lines)
+
+
+# -- worker plumbing ---------------------------------------------------------
+
+#: Per-process construction cache: building a host (graph geometry, tile
+#: grids) dwarfs a single trial, and every chunk of the same spec reuses it.
+#: Bounded LRU so long-lived processes sweeping many parameterisations don't
+#: accumulate one materialised host per distinct key forever.
+_CONSTRUCTION_CACHE: OrderedDict = OrderedDict()
+_CONSTRUCTION_CACHE_MAX = 8
+
+
+def _cached_construction(name: str, params_items: tuple):
+    from repro.api.registry import get
+
+    key = (name, params_items)
+    if key in _CONSTRUCTION_CACHE:
+        _CONSTRUCTION_CACHE.move_to_end(key)
+    else:
+        _CONSTRUCTION_CACHE[key] = get(name, **dict(params_items))
+        while len(_CONSTRUCTION_CACHE) > _CONSTRUCTION_CACHE_MAX:
+            _CONSTRUCTION_CACHE.popitem(last=False)
+    return _CONSTRUCTION_CACHE[key]
+
+
+def _run_chunk(task: tuple) -> dict:
+    """One work unit: ``count`` trials of one grid point, as an MCResult dict.
+
+    Takes/returns plain picklable types so it crosses process boundaries.
+    """
+    name, params_items, fault_spec_dict, seed_start, count = task
+    construction = _cached_construction(name, params_items)
+    fault_spec = FaultSpec.from_dict(fault_spec_dict)
+    mc = MonteCarlo(lambda seed: construction.trial(fault_spec, seed))
+    return mc.run(count, seed0=seed_start).to_dict()
+
+
+class ExperimentRunner:
+    """Execute :class:`ExperimentSpec`\\ s serially or on a process pool."""
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def _tasks(self, spec: ExperimentSpec) -> list[tuple]:
+        params_items = tuple(sorted(spec.params.items()))
+        tasks = []
+        for fs in spec.grid:
+            fsd = fs.to_dict()
+            for start in range(0, spec.trials, spec.chunk_size):
+                count = min(spec.chunk_size, spec.trials - start)
+                tasks.append(
+                    (spec.construction, params_items, fsd, spec.seed0 + start, count)
+                )
+        return tasks
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        t0 = time.perf_counter()
+        tasks = self._tasks(spec)
+        if self.workers == 1 or len(tasks) == 1:
+            raw = [_run_chunk(t) for t in tasks]
+        else:
+            with multiprocessing.Pool(processes=min(self.workers, len(tasks))) as pool:
+                raw = pool.map(_run_chunk, tasks)
+        # Merge chunks back into grid points, in chunk order.
+        chunks_per_point = -(-spec.trials // spec.chunk_size)
+        points = []
+        for i, fs in enumerate(spec.grid):
+            parts = [
+                MCResult.from_dict(raw[i * chunks_per_point + j])
+                for j in range(chunks_per_point)
+            ]
+            points.append(PointResult(fault_spec=fs, result=MCResult.merged(parts)))
+        return ExperimentResult(spec=spec, points=points, elapsed=time.perf_counter() - t0)

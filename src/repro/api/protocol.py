@@ -1,0 +1,102 @@
+"""The unified ``Construction`` protocol and its fault-model spec.
+
+Every fault-tolerant host in this library — the paper's three theorems
+(``bn``, ``an``, ``dn``) and the three comparators (``alon_chung``,
+``replication``, ``sparerows``) — conforms to one structural interface:
+
+* ``name``           registry key of the construction,
+* ``num_nodes``      host size (Theorem claims are about this),
+* ``degree``         maximum node degree (ditto),
+* ``graph()``        the materialised :class:`~repro.topology.graph.CSRGraph`
+                     (cached; never required by the recovery hot paths),
+* ``sample_faults``  draw a fault state for a :class:`FaultSpec` from an rng,
+* ``recover``        attempt verified recovery; raises
+                     :class:`~repro.errors.ReconstructionError` on failure,
+* ``trial``          one seeded sample-recover-classify round returning a
+                     :class:`~repro.api.outcome.TrialOutcome`.
+
+The fault *state* passed between ``sample_faults`` and ``recover`` is
+deliberately opaque (``Any``): ``B``/``D`` use boolean node arrays, ``A``
+uses an :class:`~repro.core.an.AnFaultState` with lazy half-edge bits,
+replication uses a per-cluster matrix.  Consumers that only run trials
+never need to look inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.api.outcome import TrialOutcome
+    from repro.topology.graph import CSRGraph
+
+__all__ = ["Construction", "FaultSpec"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One point of a fault model.
+
+    ``pattern == "bernoulli"`` means i.i.d. node faults at rate ``p`` with
+    optional i.i.d. edge faults at rate ``q`` (folded or modelled per
+    construction).  Any other pattern names an adversarial campaign from
+    :data:`repro.faults.adversary.ADVERSARY_PATTERNS` with fault budget
+    ``k`` (``None`` = the construction's rated budget).
+    """
+
+    p: float = 0.0
+    q: float = 0.0
+    pattern: str = "bernoulli"
+    k: int | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.p <= 1.0):
+            raise ValueError(f"p={self.p} out of [0, 1]")
+        if not (0.0 <= self.q <= 1.0):
+            raise ValueError(f"q={self.q} out of [0, 1]")
+        if self.k is not None and self.k < 0:
+            raise ValueError(f"k={self.k} must be >= 0")
+
+    @property
+    def adversarial(self) -> bool:
+        return self.pattern != "bernoulli"
+
+    def label(self) -> str:
+        """Compact human/JSON-key label for tables and result files."""
+        if self.adversarial:
+            return f"{self.pattern}" + (f"/k={self.k}" if self.k is not None else "")
+        parts = [f"p={self.p:g}"]
+        if self.q:
+            parts.append(f"q={self.q:g}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        return cls(**d)
+
+
+@runtime_checkable
+class Construction(Protocol):
+    """Structural interface shared by all six registered constructions."""
+
+    name: str
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def degree(self) -> int: ...
+
+    def graph(self) -> "CSRGraph": ...
+
+    def sample_faults(self, spec: FaultSpec, rng: "np.random.Generator") -> Any: ...
+
+    def recover(self, faults: Any) -> Any: ...
+
+    def trial(self, spec: FaultSpec, seed: int) -> "TrialOutcome": ...

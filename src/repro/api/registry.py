@@ -1,0 +1,56 @@
+"""String-keyed registry of :class:`~repro.api.protocol.Construction` factories.
+
+>>> from repro.api import get, available
+>>> sorted(available())[:3]
+['alon_chung', 'an', 'bn']
+>>> c = get("dn", d=2, n=70, b=2)
+>>> c.degree
+8
+
+Factories are registered by :mod:`repro.api.adapters` at import time; the
+registry lazily imports it so that ``repro.api`` stays cheap to import.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.api.protocol import Construction
+
+__all__ = ["available", "get", "register"]
+
+_REGISTRY: dict[str, Callable[..., Construction]] = {}
+
+
+def register(name: str) -> Callable:
+    """Decorator: register ``factory`` under ``name`` (kwargs-only factory)."""
+
+    def deco(factory: Callable[..., Construction]) -> Callable[..., Construction]:
+        if name in _REGISTRY:
+            raise ValueError(f"construction {name!r} already registered")
+        _REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def _ensure_loaded() -> None:
+    from repro.api import adapters  # noqa: F401 - registration side effect
+
+
+def available() -> tuple[str, ...]:
+    """All registered construction names, sorted."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def get(name: str, **params) -> Construction:
+    """Instantiate the construction registered under ``name``."""
+    _ensure_loaded()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown construction {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    return factory(**params)

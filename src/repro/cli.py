@@ -2,11 +2,18 @@
 
 Subcommands
 -----------
+``run``       generic experiment driver over any registered construction
 ``info``      print derived parameters of a construction
 ``bn-trial``  fault-injection trials against B^d_n
 ``dn-attack`` adversarial campaign against D^d_{n,k}
 ``figures``   regenerate the paper's Figure 1 / Figure 2 (ASCII)
 ``route``     routing simulation on a recovered torus
+
+``run`` is the registry-powered front end::
+
+    repro-ft run --construction dn --n 70 --b 2 --pattern random,diagonal \\
+                 --trials 20 --workers 8 --out results.json
+    repro-ft run --construction bn --b 4 --p 0.001,0.004 --trials 100
 """
 
 from __future__ import annotations
@@ -17,6 +24,72 @@ import sys
 import numpy as np
 
 __all__ = ["main"]
+
+
+#: Factory kwargs accepted by each registered construction (CLI flag -> kwarg).
+#: Kept as a static table — deriving it from the factories' signatures would
+#: require importing repro.api.adapters at parser-build time, i.e. on every
+#: CLI invocation including `--help`, defeating the lazy-import design.
+#: Must be kept in sync with the @register factories in repro/api/adapters.py.
+_RUN_PARAMS = {
+    "bn": ("d", "b", "s", "t", "strategy"),
+    "an": ("d", "b", "s", "t", "k_sub", "h", "c"),
+    "dn": ("d", "n", "b"),
+    "alon_chung": ("n", "blowup", "kind"),
+    "replication": ("n", "d", "replication", "c_r"),
+    "sparerows": ("n", "sigma"),
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import ExperimentRunner, ExperimentSpec, FaultSpec
+
+    params = {
+        key: getattr(args, key)
+        for key in _RUN_PARAMS[args.construction]
+        if getattr(args, key) is not None
+    }
+    from repro.errors import ParameterError
+    from repro.faults.adversary import ADVERSARY_PATTERNS
+
+    grid: list[FaultSpec] = []
+    try:
+        if args.pattern:
+            for pat in args.pattern.split(","):
+                if pat not in ADVERSARY_PATTERNS:
+                    print(
+                        f"run: unknown pattern {pat!r}; "
+                        f"options: {', '.join(sorted(ADVERSARY_PATTERNS))}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                grid.append(FaultSpec(pattern=pat, k=args.k))
+        if args.p:
+            grid += [FaultSpec(p=float(p), q=args.q) for p in args.p.split(",")]
+    except ValueError as exc:
+        print(f"run: invalid fault point: {exc}", file=sys.stderr)
+        return 2
+    if not grid:
+        print("run: need at least one fault point (--p and/or --pattern)", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        construction=args.construction,
+        params=params,
+        grid=tuple(grid),
+        trials=args.trials,
+        seed0=args.seed,
+        name=args.name or args.construction,
+    )
+    try:
+        result = ExperimentRunner(workers=args.workers).run(spec)
+    except (ParameterError, ValueError) as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if args.out:
+        result.save(args.out)
+        print(f"results written to {args.out}")
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -130,6 +203,44 @@ def build_parser() -> argparse.ArgumentParser:
         description="Fault-tolerant mesh/torus constructions (Tamaki, SPAA'94/JCSS'96)",
     )
     sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser(
+        "run", help="generic experiment driver over any registered construction"
+    )
+    p_run.add_argument("--construction", choices=sorted(_RUN_PARAMS), required=True,
+                       help="construction registry key")
+    p_run.add_argument("--p", type=str, default="",
+                       help="comma-separated node-fault probabilities")
+    p_run.add_argument("--q", type=float, default=0.0, help="edge-fault probability")
+    p_run.add_argument("--pattern", type=str, default="",
+                       help="comma-separated adversarial patterns")
+    p_run.add_argument("--k", type=int, default=None,
+                       help="adversarial fault budget (default: construction's rating)")
+    p_run.add_argument("--trials", type=int, default=10)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = serial; same results either way)")
+    p_run.add_argument("--out", type=str, default="", help="write results JSON here")
+    p_run.add_argument("--name", type=str, default="", help="experiment name for the report")
+    p_run.add_argument("--d", type=int, default=None)
+    p_run.add_argument("--b", type=int, default=None)
+    p_run.add_argument("--s", type=int, default=None)
+    p_run.add_argument("--t", type=int, default=None)
+    p_run.add_argument("--n", type=int, default=None)
+    p_run.add_argument("--k-sub", dest="k_sub", type=int, default=None)
+    p_run.add_argument("--h", type=int, default=None)
+    p_run.add_argument("--c", type=float, default=None,
+                       help="an: overhead constant used when --h is omitted")
+    p_run.add_argument("--blowup", type=float, default=None)
+    p_run.add_argument("--kind", type=str, default=None,
+                       help="alon_chung: expander kind (gabber-galil | random-regular)")
+    p_run.add_argument("--replication", type=int, default=None)
+    p_run.add_argument("--c-r", dest="c_r", type=float, default=None,
+                       help="replication: cluster-size constant used when --replication is omitted")
+    p_run.add_argument("--sigma", type=int, default=None)
+    p_run.add_argument("--strategy", type=str, default=None,
+                       help="bn: band-placement strategy (auto | straight | paper)")
+    p_run.set_defaults(fn=_cmd_run)
 
     p_info = sub.add_parser("info", help="show derived parameters")
     p_info.add_argument("construction", choices=["bn", "dn"])

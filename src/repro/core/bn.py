@@ -9,10 +9,11 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
+from repro.api.outcome import TrialOutcome  # noqa: F401 - canonical home is
+# repro.api.outcome; re-exported here because TrialOutcome lived in this
+# module before the unified Construction protocol existed.
 from repro.core.bands import BandSet
 from repro.core.bn_graph import BnGraph
 from repro.core.healthiness import HealthReport, check_healthiness
@@ -25,19 +26,6 @@ from repro.topology.grid import TileGeometry
 from repro.util.rng import spawn_rng
 
 __all__ = ["BTorus", "TrialOutcome"]
-
-
-@dataclass
-class TrialOutcome:
-    """Result of one fault-injection + recovery trial."""
-
-    success: bool
-    category: str  # "ok" or the ReconstructionError category
-    healthy: bool | None = None
-    num_faults: int = 0
-    strategy_used: str = ""
-    health: HealthReport | None = None
-    recovery: Recovery | None = field(default=None, repr=False)
 
 
 class BTorus:

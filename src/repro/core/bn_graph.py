@@ -60,7 +60,10 @@ class BnGraph:
         return fam
 
     def edges(self) -> np.ndarray:
-        """The full ``(E, 2)`` undirected edge array (one orientation each)."""
+        """The full ``(E, 2)`` undirected edge array (one orientation each);
+        cached, like :meth:`graph` — callers may hold the returned array."""
+        if hasattr(self, "_edges"):
+            return self._edges
         idx = self.codec.all_indices()
         p = self.params
         us, vs = [], []
@@ -77,7 +80,8 @@ class BnGraph:
             for delta in (+p.b, -p.b):
                 us.append(idx)
                 vs.append(self.codec.shift(stepped, 0, delta, wrap=True))
-        return np.stack([np.concatenate(us), np.concatenate(vs)], axis=1)
+        self._edges = np.stack([np.concatenate(us), np.concatenate(vs)], axis=1)
+        return self._edges
 
     def graph(self) -> CSRGraph:
         """Materialised CSR graph (cached)."""

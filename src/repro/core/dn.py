@@ -64,6 +64,10 @@ class DTorus:
         return self.codec.size
 
     def edges(self) -> np.ndarray:
+        """Undirected edge array (one orientation each); cached, matching
+        :meth:`graph` — callers may hold the returned array."""
+        if hasattr(self, "_edges"):
+            return self._edges
         p = self.params
         idx = self.codec.all_indices()
         us, vs = [], []
@@ -71,7 +75,8 @@ class DTorus:
             for delta in (1, p.width(axis + 1) + 1):
                 us.append(idx)
                 vs.append(self.codec.shift(idx, axis, delta, wrap=True))
-        return np.stack([np.concatenate(us), np.concatenate(vs)], axis=1)
+        self._edges = np.stack([np.concatenate(us), np.concatenate(vs)], axis=1)
+        return self._edges
 
     def graph(self) -> CSRGraph:
         if not hasattr(self, "_graph"):

@@ -1,15 +1,15 @@
 """Synchronous store-and-forward simulation on the (recovered) torus.
 
 One message occupies one link per cycle; each directed link forwards one
-message per cycle (FIFO per-link queues).  Messages follow precomputed
-dimension-ordered routes.  This is deliberately simple — enough to show
+message per cycle (deterministic lowest-id-first arbitration).  Messages
+follow precomputed dimension-ordered routes.  This is deliberately simple — enough to show
 latency/throughput *shape* and that recovered tori behave identically to
 pristine ones (the embedding has dilation 1).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import defaultdict
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,22 +55,28 @@ def simulate(
             done[i] = True
             latencies[i] = 0
     while live and cycles < max_cycles:
-        wants: dict[tuple[int, int], deque] = defaultdict(deque)
+        wants: dict[tuple[int, int], list] = defaultdict(list)
         for i in live:
             r = routes[i]
             link = (int(r[pos[i]]), int(r[pos[i] + 1]))
             wants[link].append(i)
         nxt_live = []
         for link, q in wants.items():
+            # Arbitration invariant: lowest message id wins the link this
+            # cycle.  ``live`` is kept sorted, so each queue is built in
+            # ascending id order already; the explicit sort normalises the
+            # invariant instead of leaning on the iteration order of ``live``
+            # (a no-op O(Q) pass when the invariant holds).
+            q.sort()
             max_queue = max(max_queue, len(q))
-            winner = q.popleft()  # FIFO: lowest id first this cycle
+            winner = q[0]
             pos[winner] += 1
             if pos[winner] == len(routes[winner]) - 1:
                 done[winner] = True
                 latencies[winner] = cycles + 1 - start[winner]
             else:
                 nxt_live.append(winner)
-            nxt_live.extend(q)  # losers retry next cycle
+            nxt_live.extend(q[1:])  # losers retry next cycle
         live = sorted(set(nxt_live))
         cycles += 1
     lat = latencies[done & (latencies >= 0)]

@@ -17,9 +17,23 @@ from repro.core.bands import BandSet
 from repro.core.params import BnParams
 from repro.core.reconstruction import Recovery
 
-__all__ = ["save_recovery", "load_recovery"]
+__all__ = ["load_json", "load_recovery", "save_json", "save_recovery"]
 
 _FORMAT = "repro-recovery-v1"
+
+
+def save_json(path: "str | Path", payload: dict) -> None:
+    """Write ``payload`` as canonical JSON (sorted keys, fixed indent).
+
+    Canonical form makes result files diffable and lets tests assert that
+    serial and parallel experiment runs are byte-identical.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    Path(path).write_text(text + "\n", encoding="utf-8")
+
+
+def load_json(path: "str | Path") -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
 
 
 def save_recovery(path: "str | Path", rec: Recovery, faults: np.ndarray | None = None) -> None:

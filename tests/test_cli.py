@@ -1,0 +1,138 @@
+"""End-to-end CLI coverage: every subcommand via ``main([...])``.
+
+Tiny parameters throughout; each test asserts the exit code and that the
+output parses (tables render, JSON loads), not exact survival numbers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_bn(self, capsys):
+        assert main(["info", "bn", "--b", "4", "--t", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "B^2_96" in out and "p = b^-3d" in out
+
+    def test_dn(self, capsys):
+        assert main(["info", "dn", "--n", "70", "--b", "2"]) == 0
+        assert "k = 8" in capsys.readouterr().out
+
+
+class TestBnTrial:
+    def test_default_params(self, capsys):
+        assert main(["bn-trial", "--trials", "2"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_with_health(self, capsys):
+        assert main(["bn-trial", "--trials", "2", "--health"]) == 0
+        assert "healthy=" in capsys.readouterr().out
+
+
+class TestDnAttack:
+    def test_two_patterns(self, capsys):
+        assert main(["dn-attack", "--n", "70", "--b", "2", "--trials", "2",
+                     "--patterns", "random,diagonal"]) == 0
+        out = capsys.readouterr().out
+        assert "random" in out and "diagonal" in out
+
+
+class TestLifetime:
+    def test_runs(self, capsys):
+        assert main(["lifetime", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "median=" in out and "theory scale" in out
+
+
+class TestFigures:
+    def test_renders_both(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out
+
+
+class TestRoute:
+    def test_runs(self, capsys):
+        assert main(["route", "--messages", "20", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "routing" in out and "p50" in out
+
+
+class TestRun:
+    def test_bernoulli_grid(self, capsys):
+        assert main(["run", "--construction", "bn", "--p", "0.001,0.004",
+                     "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "p=0.001" in out and "p=0.004" in out
+
+    def test_adversarial_with_output(self, capsys, tmp_path):
+        out_path = tmp_path / "res.json"
+        assert main(["run", "--construction", "dn", "--n", "70", "--b", "2",
+                     "--pattern", "random", "--trials", "2",
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "repro-experiment-v1"
+        assert payload["spec"]["construction"] == "dn"
+        assert payload["points"][0]["result"]["trials"] == 2
+
+    def test_parallel_workers(self, capsys):
+        assert main(["run", "--construction", "replication", "--n", "8",
+                     "--replication", "3", "--p", "0.05", "--trials", "8",
+                     "--workers", "2"]) == 0
+        assert "replication" in capsys.readouterr().out
+
+    def test_every_construction_smokes(self, capsys):
+        cases = [
+            ["--construction", "bn", "--p", "0.001"],
+            ["--construction", "an", "--k-sub", "2", "--h", "8", "--p", "0.1"],
+            ["--construction", "dn", "--n", "70", "--b", "2", "--pattern", "random"],
+            ["--construction", "alon_chung", "--n", "20", "--p", "0.1"],
+            ["--construction", "replication", "--n", "8", "--replication", "3",
+             "--p", "0.05"],
+            ["--construction", "sparerows", "--n", "10", "--sigma", "4",
+             "--pattern", "random"],
+        ]
+        for extra in cases:
+            assert main(["run", *extra, "--trials", "2"]) == 0, extra
+            assert "trials/point" in capsys.readouterr().out
+
+    def test_no_fault_points_is_usage_error(self, capsys):
+        assert main(["run", "--construction", "bn", "--trials", "2"]) == 2
+        assert "--p and/or --pattern" in capsys.readouterr().err
+
+    def test_unknown_pattern_is_usage_error(self, capsys):
+        assert main(["run", "--construction", "dn", "--pattern", "sneaky",
+                     "--trials", "2"]) == 2
+        assert "unknown pattern" in capsys.readouterr().err
+
+    def test_invalid_probability_is_usage_error(self, capsys):
+        assert main(["run", "--construction", "bn", "--p", "1.5",
+                     "--trials", "2"]) == 2
+        assert "invalid fault point" in capsys.readouterr().err
+
+    def test_unsupported_fault_model_is_clean_error(self, capsys):
+        # A^d_n models random faults only; the runner's error must surface
+        # as a clean CLI message, not a traceback.
+        assert main(["run", "--construction", "an", "--pattern", "random",
+                     "--k", "5", "--trials", "2"]) == 2
+        assert "random faults only" in capsys.readouterr().err
+
+    def test_bad_workers_is_clean_error(self, capsys):
+        assert main(["run", "--construction", "bn", "--p", "0.001",
+                     "--workers", "0", "--trials", "2"]) == 2
+        assert "workers" in capsys.readouterr().err

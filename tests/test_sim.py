@@ -89,6 +89,25 @@ class TestEngine:
         assert stats["delivered"] == stats["total"]
         assert stats["p99"] >= stats["p50"]
 
+    def test_arbitration_lowest_id_first(self):
+        """Deterministic link arbitration: when several messages contend for
+        the same link every cycle, they must drain in ascending message-id
+        order — latencies are exactly distance, distance+1, distance+2, ...
+        regardless of how the contenders were interleaved internally."""
+        shape = (6, 6)
+        # Three identical messages: same source, same destination, same route.
+        t = np.array([[0, 3], [0, 3], [0, 3]])
+        res = simulate(shape, t)
+        dist = route_length(shape, 0, 3)
+        assert res.latencies.tolist() == [dist, dist + 1, dist + 2]
+
+    def test_simulation_is_deterministic(self):
+        t = make_traffic((5, 5), "uniform", 30, spawn_rng(11))
+        a = simulate((5, 5), t)
+        b = simulate((5, 5), t)
+        assert a.latencies.tolist() == b.latencies.tolist()
+        assert (a.cycles, a.max_queue, a.delivered) == (b.cycles, b.max_queue, b.delivered)
+
     def test_recovered_torus_routes_identically(self, bn2_small):
         """Dilation-1 embedding: the recovered torus is exactly an n^d torus,
         so hop counts match the pristine torus."""
