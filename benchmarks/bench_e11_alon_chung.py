@@ -46,13 +46,13 @@ def test_e11_path_survival_vs_fault_fraction(benchmark, report):
     table = Table(
         ["fault fraction", "path of n recovered"],
         title=f"E11: Alon–Chung path (n={n}, host {ac.num_nodes} nodes, "
-        f"Gabber–Galil expander) vs random fault fraction",
+        "Gabber–Galil expander) vs random fault fraction",
     )
     for r in rows:
         table.add_row(r)
     report("e11_path_survival", table)
 
-    assert rows[0][1] == f"5/5"  # no faults: always
+    assert rows[0][1] == "5/5"  # no faults: always
     assert int(rows[1][1].split("/")[0]) >= 4  # 10% faults: nearly always
     # linear-fraction regime: still survives most trials at 30%
     assert int(rows[3][1].split("/")[0]) >= 3

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 from conftest import run_once
 
 from repro.analysis.montecarlo import MonteCarlo

@@ -7,7 +7,6 @@ pattern.  Also times the simulator itself.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
 from repro.core.bn import BTorus

@@ -14,7 +14,6 @@ the *shape* claim here is the scaling against ``N b^{-3d}``.
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
 from repro.core.bn import BTorus

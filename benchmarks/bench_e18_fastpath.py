@@ -1,0 +1,269 @@
+"""E18 — scalar vs vectorized batched-trial backend, and the CI perf gate.
+
+Measures wall-clock of the same bn/an survival Monte-Carlo on the scalar
+per-trial path and on ``run_batch``, asserts outcome-identity while at it,
+and records the numbers in ``BENCH_fastpath.json`` at the repo root.  The
+headline claim (ISSUE 2 acceptance): batched bn survival at d=2, b=4 is
+>= 10x faster than scalar.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_e18_fastpath.py`` — bench-suite integration
+  (full measurement, table artifact, regenerates both JSON files);
+* ``python benchmarks/bench_e18_fastpath.py [--quick] [--check PATH]`` —
+  the CI perf-regression gate.  ``--quick`` measures only the headline bn
+  configuration (min-of-N timed, a couple of seconds); ``--check``
+  compares against the committed baseline and exits 1 on a >30%
+  wall-clock regression of the batched kernel.  Because CI runners
+  and the machine that produced the baseline differ, the gate normalises
+  by the scalar kernel measured in the same process: the batched kernel
+  "regressed by 30%" when its speedup over scalar drops below
+  baseline_speedup / 1.3.  That ratio is machine-portable; raw seconds
+  are recorded for humans.
+
+``BENCH_runner.json`` is regenerated here too (same harness, same
+machine) with ``machine_cpus`` taken from the actual runner instead of a
+hand-written single-CPU note.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+FASTPATH_JSON = ROOT / "BENCH_fastpath.json"
+RUNNER_JSON = ROOT / "BENCH_runner.json"
+
+#: Gate tolerance: fail on >30% batched-kernel regression (ISSUE 2).
+TOLERANCE = 1.3
+
+#: (construction, factory params, trials) per measured case.
+FULL_BN = dict(d=2, b=4, s=1, t=2)
+FULL_AN = dict(d=2, b=3, s=1, t=2, k_sub=2, h=12)
+FULL_TRIALS = 64
+QUICK_TRIALS = 64
+#: Repeated timings per kernel; the minimum is reported.  The batched
+#: kernel is single-digit milliseconds, far inside shared-CI-runner
+#: scheduler jitter, so a one-shot sample would make the gate flaky —
+#: min-of-N discards descheduling spikes and is the stable statistic for
+#: a deterministic kernel.
+REPEATS = 3
+
+
+def _measure(name: str, params: dict, trials: int, p: float | None = None) -> dict:
+    """Time scalar vs batched execution of the same seeds; verify identity.
+
+    Both kernels are timed ``REPEATS`` times and the minimum is kept."""
+    from repro.api import FaultSpec
+    from repro.api.registry import get
+
+    construction = get(name, **params)
+    if p is None:
+        p = construction.params.paper_fault_probability
+    spec = FaultSpec(p=p)
+    seeds = list(range(trials))
+    construction.run_batch(spec, seeds[:2])  # warm both paths
+    construction.trial(spec, 0)
+
+    batch_s = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        batch_outs = construction.run_batch(spec, seeds)
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    scalar_s = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        scalar_outs = [construction.trial(spec, s) for s in seeds]
+        scalar_s = min(scalar_s, time.perf_counter() - t0)
+
+    identical = all(
+        (a.success, a.category, a.num_faults, a.strategy_used)
+        == (b.success, b.category, b.num_faults, b.strategy_used)
+        for a, b in zip(batch_outs, scalar_outs)
+    )
+    return {
+        "construction": name,
+        "params": params,
+        "p": p,
+        "trials": trials,
+        "timing_repeats": REPEATS,
+        "scalar_s": round(scalar_s, 4),
+        "batch_s": round(batch_s, 4),
+        "speedup": round(scalar_s / batch_s, 2) if batch_s > 0 else float("inf"),
+        "outcomes_identical": identical,
+        "successes": sum(o.success for o in batch_outs),
+    }
+
+
+def measure_quick() -> dict:
+    return _measure("bn", FULL_BN, QUICK_TRIALS)
+
+
+def measure_full() -> dict:
+    """The committed benchmark: bn (headline) + an, plus the quick config
+    the CI gate replays."""
+    bn = _measure("bn", FULL_BN, FULL_TRIALS)
+    an = _measure("an", FULL_AN, FULL_TRIALS, p=0.1)
+    quick = measure_quick()
+    return {
+        "benchmark": (
+            "scalar per-trial vs vectorized run_batch, identical seeds and "
+            "outcomes (repro.fastpath)"
+        ),
+        "machine_cpus": os.cpu_count(),
+        "note": (
+            "speedups are same-machine ratios and therefore portable across "
+            "runners; the CI perf gate replays the `quick` configuration and "
+            "fails when its measured speedup drops below speedup/1.3 (a >30% "
+            "wall-clock regression of the batched kernel, normalised by the "
+            "scalar kernel measured in the same process)"
+        ),
+        "bn_survival_d2_b4": bn,
+        "an_survival": an,
+        "quick": quick,
+    }
+
+
+def regenerate_runner_json() -> dict:
+    """Re-run the PR-1 ExperimentRunner timing with honest machine info."""
+    from repro.api import ExperimentRunner, ExperimentSpec
+
+    spec = ExperimentSpec.from_grid(
+        "bn", FULL_BN,
+        p_values=[2.44140625e-04, 1e-3],
+        trials=64,
+        name="runner-bench",
+    )
+    seconds = {}
+    dumps = {}
+    for workers in (1, 4, 8):
+        runner = ExperimentRunner(workers=workers, batch=False)
+        t0 = time.perf_counter()
+        result = runner.run(spec)
+        seconds[f"workers={workers}"] = round(time.perf_counter() - t0, 3)
+        dumps[workers] = json.dumps(result.to_dict(), sort_keys=True)
+    t0 = time.perf_counter()
+    batch_result = ExperimentRunner(batch=True).run(spec)
+    batch_s = round(time.perf_counter() - t0, 3)
+    cpus = os.cpu_count()
+    return {
+        "benchmark": (
+            "ExperimentRunner wall-clock, bn d=2 b=4 (12288 nodes), "
+            "2 fault points x 64 trials"
+        ),
+        "machine_cpus": cpus,
+        "byte_identical_w1_w4": dumps[1] == dumps[4],
+        "byte_identical_batch": dumps[1] == json.dumps(
+            batch_result.to_dict(), sort_keys=True
+        ),
+        "seconds": seconds,
+        "seconds_batch_backend": batch_s,
+        "speedup_w4_vs_w1": round(seconds["workers=1"] / seconds["workers=4"], 2),
+        "speedup_batch_vs_w1": round(seconds["workers=1"] / batch_s, 2),
+        "note": (
+            f"recorded on a {cpus}-CPU runner (machine_cpus); the pool splits "
+            "work into worker-count-independent seed chunks, so on an N-core "
+            "host the same spec fans out ~N-fold with byte-identical output. "
+            "The vectorized batch backend (seconds_batch_backend) now "
+            "dominates either way on Bernoulli bn/an points."
+        ),
+    }
+
+
+# -- pytest integration ------------------------------------------------------
+
+
+def test_e18_fastpath_speedup(benchmark, report):
+    from conftest import run_once
+
+    from repro.util.tables import Table
+
+    def compute():
+        data = measure_full()
+        FASTPATH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        RUNNER_JSON.write_text(
+            json.dumps(regenerate_runner_json(), indent=2, sort_keys=True) + "\n"
+        )
+        return data
+
+    data = run_once(benchmark, compute)
+    table = Table(
+        ["case", "trials", "scalar s", "batch s", "speedup", "identical"],
+        title="E18: scalar per-trial vs vectorized batch backend",
+    )
+    for key in ("bn_survival_d2_b4", "an_survival", "quick"):
+        c = data[key]
+        table.add_row(
+            [key, c["trials"], c["scalar_s"], c["batch_s"],
+             f"{c['speedup']:.1f}x", "yes" if c["outcomes_identical"] else "NO"]
+        )
+    report("e18_fastpath", table)
+
+    bn = data["bn_survival_d2_b4"]
+    assert bn["outcomes_identical"] and data["an_survival"]["outcomes_identical"]
+    # ISSUE 2 acceptance: >= 10x on bn survival at d=2, b=4.
+    assert bn["speedup"] >= 10.0, f"batched speedup {bn['speedup']}x < 10x"
+
+
+# -- CLI / CI gate -----------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="measure only the headline bn configuration "
+                         "(the CI perf gate)")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="compare against a committed BENCH_fastpath.json; "
+                         "exit 1 on >30%% batched-kernel regression")
+    ap.add_argument("--out", metavar="PATH",
+                    help="write measurement JSON here (full mode defaults to "
+                         "BENCH_fastpath.json + BENCH_runner.json)")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        data = {"quick": measure_quick()}
+    else:
+        data = measure_full()
+    print(json.dumps(data, indent=2, sort_keys=True))
+
+    if not data["quick"]["outcomes_identical"]:
+        print("FAIL: batched outcomes differ from scalar outcomes", file=sys.stderr)
+        return 1
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    elif not args.quick:
+        FASTPATH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        RUNNER_JSON.write_text(
+            json.dumps(regenerate_runner_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {FASTPATH_JSON} and {RUNNER_JSON}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())["quick"]["speedup"]
+        measured = data["quick"]["speedup"]
+        floor = baseline / TOLERANCE
+        verdict = "OK" if measured >= floor else "REGRESSION"
+        print(
+            f"perf gate: measured speedup {measured:.1f}x vs baseline "
+            f"{baseline:.1f}x (floor {floor:.1f}x) -> {verdict}"
+        )
+        if measured < floor:
+            print(
+                "FAIL: batched kernel regressed >30% relative to the scalar "
+                "kernel on this machine",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

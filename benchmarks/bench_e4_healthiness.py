@@ -5,15 +5,21 @@ Measured columns: fraction of trials where each condition holds, the
 strict healthiness (Lemma 4 statement) and the sufficient variant (what
 Lemma 5 consumes), plus verified recovery.  Predicted column: our
 executable version of the paper's union bound (upper bound on failure).
+
+All trials of a fault point run through the batched backend
+(``run_batch`` with ``check_health=True``): fault stacks are sampled as
+one ``(trials, *shape)`` array and conditions 1-3 are evaluated as array
+reductions — the per-trial reports are identical to the scalar checker's
+(tests/test_fastpath.py), so the table is unchanged, only faster.
 """
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
 from repro.analysis.chernoff import predict_healthiness
-from repro.core.bn import BTorus
+from repro.api import FaultSpec
+from repro.api.registry import get
 from repro.core.params import BnParams
 from repro.util.tables import Table
 
@@ -24,21 +30,18 @@ TRIALS = 20
 def test_e4_healthiness_attribution(benchmark, report):
     p0 = PARAMS.paper_fault_probability
     ps = [p0 / 4, p0, 8 * p0, 32 * p0]
-    bt = BTorus(PARAMS)
+    bn = get("bn", d=PARAMS.d, b=PARAMS.b, s=PARAMS.s, t=PARAMS.t, check_health=True)
 
     def compute():
         rows = []
         for p in ps:
-            c1 = c2 = c3 = healthy = sufficient = ok = 0
-            for seed in range(TRIALS):
-                out = bt.trial(p, seed, check_health=True)
-                h = out.health
-                c1 += h.cond1_ok
-                c2 += h.cond2_ok
-                c3 += h.cond3_ok
-                healthy += h.healthy
-                sufficient += h.sufficient
-                ok += out.success
+            outs = bn.run_batch(FaultSpec(p=p), list(range(TRIALS)))
+            c1 = sum(o.health.cond1_ok for o in outs)
+            c2 = sum(o.health.cond2_ok for o in outs)
+            c3 = sum(o.health.cond3_ok for o in outs)
+            healthy = sum(o.health.healthy for o in outs)
+            sufficient = sum(o.health.sufficient for o in outs)
+            ok = sum(o.success for o in outs)
             pred = predict_healthiness(PARAMS, p)
             rows.append(
                 [f"{p:.1e}", c1 / TRIALS, c2 / TRIALS, c3 / TRIALS,

@@ -7,7 +7,9 @@ p in {0.1, 0.2, 0.3}.
 
 Each p is one :class:`ExperimentSpec` against the ``an`` registry entry
 (the supernode size is solved by ``an_params_for_reliability`` and passed
-as an explicit factory parameter, keeping the spec fully declarative).
+as an explicit factory parameter, keeping the spec fully declarative),
+executed on the batch backend — ``q == 0`` points classify entirely via
+the vectorized good-supernode + straight-cover reductions.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ TRIALS = 10
 
 
 def test_e5_an_survival_table(benchmark, report):
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(batch=True)
 
     def compute():
         rows = []

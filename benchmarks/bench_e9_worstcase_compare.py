@@ -15,7 +15,6 @@ Paper's qualitative claims, regenerated:
 
 from __future__ import annotations
 
-import numpy as np
 from conftest import run_once
 
 from repro.baselines.bch import (

@@ -9,12 +9,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.analysis.stats import wilson_interval
 from repro.api.outcome import TrialOutcome
 
-__all__ = ["MCResult", "MonteCarlo"]
+__all__ = ["MCResult", "MonteCarlo", "aggregate_outcomes"]
 
 
 @dataclass
@@ -112,6 +112,36 @@ class MCResult:
         return out
 
 
+def aggregate_outcomes(outcomes: Iterable[TrialOutcome]) -> MCResult:
+    """Fold a stream of trial outcomes into one :class:`MCResult`.
+
+    The single accumulation path shared by the per-trial driver and the
+    batched backends: identical outcome sequences produce identical
+    results (including the float ``mean_faults``, accumulated in stream
+    order), which is what keeps batch and scalar experiment JSON
+    byte-identical.  Outcomes may be any objects with ``success`` and
+    ``category`` attributes (``TrialOutcome`` or duck-typed equivalents).
+    """
+    res = MCResult(trials=0, successes=0)
+    total_faults = 0
+    for out in outcomes:
+        res.trials += 1
+        res.categories[out.category] += 1
+        if out.success:
+            res.successes += 1
+        health = getattr(out, "health", None)
+        if health is not None:
+            res.health_checked += 1
+            res.healthy += int(health.healthy)
+            res.sufficient += int(health.sufficient)
+        total_faults += getattr(out, "num_faults", 0)
+        used = getattr(out, "strategy_used", "")
+        if used:
+            res.strategies[used] += 1
+    res.mean_faults = total_faults / res.trials if res.trials else 0.0
+    return res
+
+
 class MonteCarlo:
     """Run ``trial_fn(seed) -> TrialOutcome`` over a seed range and
     aggregate.  ``trial_fn`` may return any object with ``success`` and
@@ -121,21 +151,4 @@ class MonteCarlo:
         self.trial_fn = trial_fn
 
     def run(self, trials: int, *, seed0: int = 0) -> MCResult:
-        res = MCResult(trials=trials, successes=0)
-        total_faults = 0
-        for i in range(trials):
-            out = self.trial_fn(seed0 + i)
-            res.categories[out.category] += 1
-            if out.success:
-                res.successes += 1
-            health = getattr(out, "health", None)
-            if health is not None:
-                res.health_checked += 1
-                res.healthy += int(health.healthy)
-                res.sufficient += int(health.sufficient)
-            total_faults += getattr(out, "num_faults", 0)
-            used = getattr(out, "strategy_used", "")
-            if used:
-                res.strategies[used] += 1
-        res.mean_faults = total_faults / trials if trials else 0.0
-        return res
+        return aggregate_outcomes(self.trial_fn(seed0 + i) for i in range(trials))

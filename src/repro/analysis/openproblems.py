@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.baselines.alon_chung import AlonChungPath
 from repro.core.bn import BTorus

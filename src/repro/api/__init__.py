@@ -22,6 +22,7 @@ from __future__ import annotations
 
 _EXPORTS = {
     "TrialOutcome": "repro.api.outcome",
+    "BatchCapable": "repro.api.protocol",
     "Construction": "repro.api.protocol",
     "FaultSpec": "repro.api.protocol",
     "available": "repro.api.registry",

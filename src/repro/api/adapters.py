@@ -110,6 +110,17 @@ class BnConstruction(_AdapterBase):
             spec.p, seed, q=spec.q, strategy=self.strategy, check_health=self.check_health
         )
 
+    def supports_batch(self, spec: FaultSpec) -> bool:
+        """Bernoulli points on the straight-capable strategies; the pure
+        ``paper`` strategy never takes the straight fast path, so batching
+        it would be per-trial fallback in disguise."""
+        return not spec.adversarial and self.strategy in ("auto", "straight")
+
+    def run_batch(self, spec: FaultSpec, seeds: list) -> list:
+        from repro.fastpath.bn_batch import run_bn_batch
+
+        return run_bn_batch(self, spec, seeds)
+
 
 @register("bn")
 def _make_bn(*, d: int = 2, b: int = 3, s: int = 1, t: int = 2,
@@ -203,6 +214,16 @@ class AnConstruction(_AdapterBase):
             return TrialOutcome(success=True, category="ok", num_faults=n_faults)
         except ReconstructionError as exc:
             return TrialOutcome(success=False, category=exc.category, num_faults=n_faults)
+
+    def supports_batch(self, spec: FaultSpec) -> bool:
+        """Node-fault-only points: with ``q > 0`` the greedy embedding
+        consults per-pair half-edge bits, which stay on the scalar path."""
+        return not spec.adversarial and spec.q == 0.0
+
+    def run_batch(self, spec: FaultSpec, seeds: list) -> list:
+        from repro.fastpath.an_batch import run_an_batch
+
+        return run_an_batch(self, spec, seeds)
 
 
 @register("an")

@@ -15,6 +15,15 @@ of the spec.  Work is split into fixed-size seed chunks *independently of
 the worker count* and merged in chunk order in the parent process;
 ``ExperimentRunner(workers=1)`` and ``workers=N`` therefore produce
 byte-identical JSON (asserted by tests/test_api.py).
+
+Execution backends are an orthogonal, *non-spec* choice: when the
+registered construction advertises the batch capability for a grid point
+(``supports_batch``/``run_batch``, see docs/fastpath.md), each seed chunk
+runs through the vectorized backend instead of the per-trial loop.  Batch
+dispatch never changes results — ``run_batch`` returns identical outcome
+sequences by contract — so batch and per-trial runs of the same spec also
+serialise byte-identically (asserted by tests/test_fastpath.py and the CI
+smoke job).
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.analysis.montecarlo import MCResult, MonteCarlo
+from repro.analysis.montecarlo import MCResult, MonteCarlo, aggregate_outcomes
 from repro.api.protocol import FaultSpec
 
 __all__ = ["ExperimentResult", "ExperimentRunner", "ExperimentSpec", "PointResult"]
@@ -210,31 +219,51 @@ def _run_chunk(task: tuple) -> dict:
     """One work unit: ``count`` trials of one grid point, as an MCResult dict.
 
     Takes/returns plain picklable types so it crosses process boundaries.
+    Dispatches the chunk to the construction's vectorized ``run_batch``
+    backend when allowed and advertised; outcomes are identical either
+    way (the batch contract), so the choice never reaches the JSON.
     """
-    name, params_items, fault_spec_dict, seed_start, count = task
+    name, params_items, fault_spec_dict, seed_start, count, use_batch = task
     construction = _cached_construction(name, params_items)
     fault_spec = FaultSpec.from_dict(fault_spec_dict)
+    if use_batch:
+        run_batch = getattr(construction, "run_batch", None)
+        supports = getattr(construction, "supports_batch", None)
+        if run_batch is not None and (supports is None or supports(fault_spec)):
+            outcomes = run_batch(fault_spec, list(range(seed_start, seed_start + count)))
+            return aggregate_outcomes(outcomes).to_dict()
     mc = MonteCarlo(lambda seed: construction.trial(fault_spec, seed))
     return mc.run(count, seed0=seed_start).to_dict()
 
 
 class ExperimentRunner:
-    """Execute :class:`ExperimentSpec`\\ s serially or on a process pool."""
+    """Execute :class:`ExperimentSpec`\\ s serially or on a process pool.
 
-    def __init__(self, workers: int = 1):
+    ``batch`` selects the execution backend for each seed chunk:
+    ``None`` (default) and ``True`` use a construction's vectorized
+    ``run_batch`` whenever it advertises support for the grid point,
+    falling back to the per-trial loop otherwise; ``False`` forces the
+    per-trial loop everywhere.  Like ``workers``, the choice is a runner
+    property, not a spec field — results are byte-identical regardless.
+    """
+
+    def __init__(self, workers: int = 1, batch: bool | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.batch = batch
 
     def _tasks(self, spec: ExperimentSpec) -> list[tuple]:
         params_items = tuple(sorted(spec.params.items()))
+        use_batch = self.batch is not False
         tasks = []
         for fs in spec.grid:
             fsd = fs.to_dict()
             for start in range(0, spec.trials, spec.chunk_size):
                 count = min(spec.chunk_size, spec.trials - start)
                 tasks.append(
-                    (spec.construction, params_items, fsd, spec.seed0 + start, count)
+                    (spec.construction, params_items, fsd, spec.seed0 + start, count,
+                     use_batch)
                 )
         return tasks
 

@@ -15,6 +15,16 @@ Every fault-tolerant host in this library — the paper's three theorems
 * ``trial``          one seeded sample-recover-classify round returning a
                      :class:`~repro.api.outcome.TrialOutcome`.
 
+Constructions may additionally advertise the optional *batch capability*
+(:class:`BatchCapable`): ``supports_batch(spec)`` says whether a fault
+point can run on the construction's vectorized backend and
+``run_batch(spec, seeds)`` then returns the same ``TrialOutcome``
+sequence as ``[trial(spec, s) for s in seeds]`` — identical outcomes,
+not just statistically equivalent ones, so experiment JSON is
+byte-identical whichever path executes (see docs/fastpath.md).  The
+capability is deliberately *not* part of :class:`Construction`: the
+runner probes for it with ``getattr`` and falls back per-trial.
+
 The fault *state* passed between ``sample_faults`` and ``recover`` is
 deliberately opaque (``Any``): ``B``/``D`` use boolean node arrays, ``A``
 uses an :class:`~repro.core.an.AnFaultState` with lazy half-edge bits,
@@ -33,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api.outcome import TrialOutcome
     from repro.topology.graph import CSRGraph
 
-__all__ = ["Construction", "FaultSpec"]
+__all__ = ["BatchCapable", "Construction", "FaultSpec"]
 
 
 @dataclass(frozen=True)
@@ -100,3 +110,18 @@ class Construction(Protocol):
     def recover(self, faults: Any) -> Any: ...
 
     def trial(self, spec: FaultSpec, seed: int) -> "TrialOutcome": ...
+
+
+@runtime_checkable
+class BatchCapable(Protocol):
+    """Optional vectorized-backend capability of a construction.
+
+    ``run_batch`` must return *identical* outcomes to the per-trial loop
+    for the same seeds whenever ``supports_batch`` approved the spec; it
+    may delegate individual hard trials back to ``trial`` to keep that
+    guarantee.
+    """
+
+    def supports_batch(self, spec: FaultSpec) -> bool: ...
+
+    def run_batch(self, spec: FaultSpec, seeds: "list[int]") -> "list[TrialOutcome]": ...

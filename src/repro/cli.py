@@ -21,7 +21,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
 
 __all__ = ["main"]
 
@@ -81,7 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         name=args.name or args.construction,
     )
     try:
-        result = ExperimentRunner(workers=args.workers).run(spec)
+        result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
     except (ParameterError, ValueError) as exc:
         print(f"run: {exc}", file=sys.stderr)
         return 2
@@ -220,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--workers", type=int, default=1,
                        help="process-pool size (1 = serial; same results either way)")
+    p_run.add_argument("--batch", action=argparse.BooleanOptionalAction, default=None,
+                       help="use the vectorized batched-trial backend where the "
+                            "construction supports it (default: auto; results are "
+                            "byte-identical either way)")
     p_run.add_argument("--out", type=str, default="", help="write results JSON here")
     p_run.add_argument("--name", type=str, default="", help="experiment name for the report")
     p_run.add_argument("--d", type=int, default=None)

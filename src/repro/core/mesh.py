@@ -15,7 +15,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.reconstruction import Recovery
-from repro.errors import EmbeddingError
 from repro.topology.coords import CoordCodec
 from repro.topology.embeddings import verify_mesh_embedding
 

@@ -25,8 +25,7 @@ import numpy as np
 from repro.core.bands import BandSet
 from repro.core.bn_graph import BnGraph
 from repro.core.params import BnParams
-from repro.errors import EmbeddingError, ReconstructionError
-from repro.topology.coords import CoordCodec
+from repro.errors import ReconstructionError
 from repro.topology.embeddings import verify_torus_embedding
 
 __all__ = ["Recovery", "extract_torus"]

@@ -1,0 +1,34 @@
+"""Numpy-vectorized batched-trial backends (the experiment fast path).
+
+The scalar pipeline pays two per-trial Python costs that dwarf everything
+else in the survival regime: the healthiness checker enumerates bricks and
+tiles in Python loops, and every successful recovery runs the full
+column-by-column torus extraction plus embedding verification.  This
+package batches whole chunks of trials into ``(trials, *grid_dims)``
+boolean fault arrays and evaluates healthiness conditions 1-3 and
+row/brick survival as array reductions over the trial axis.
+
+Contract: for identical seeds the batched backends produce *identical*
+:class:`~repro.api.outcome.TrialOutcome` sequences to the scalar
+per-trial path (asserted trial-for-trial by tests/test_fastpath.py),
+which is what makes experiment JSON byte-identical whichever path the
+runner picks.  Any trial the vectorized kernels cannot classify is
+delegated to the scalar path, so coverage is total and correctness never
+depends on the fast path alone.  See docs/fastpath.md.
+"""
+
+from repro.fastpath.an_batch import run_an_batch
+from repro.fastpath.bn_batch import (
+    run_bn_batch,
+    sample_bn_faults_batch,
+    straight_survival_batch,
+)
+from repro.fastpath.health import check_healthiness_batch
+
+__all__ = [
+    "check_healthiness_batch",
+    "run_an_batch",
+    "run_bn_batch",
+    "sample_bn_faults_batch",
+    "straight_survival_batch",
+]

@@ -1,0 +1,53 @@
+"""Batched survival classification for ``A^d_n`` (node-fault model).
+
+With ``q == 0`` the supernode pipeline collapses analytically: a node is
+good iff non-faulty, a supernode is good iff it has at least ``k^d`` good
+nodes, and — because the host recovery only embeds good supernodes, each
+of which must seat exactly ``k^d`` guests — the greedy slot assignment
+and its verification can never fail once the host ``B^d`` recovery
+succeeds.  A trial's outcome is therefore decided entirely by whether
+the host recovers from the bad-supernode fault array, which the batched
+straight-cover kernel classifies for a whole chunk of trials at once.
+
+Half-edge faults (``q > 0``) re-introduce per-pair edge constraints that
+the greedy genuinely consults, so those specs stay on the scalar path
+(``AnConstruction.supports_batch`` gates on ``q == 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.api.outcome import TrialOutcome
+from repro.fastpath.bn_batch import straight_survival_batch
+
+__all__ = ["run_an_batch"]
+
+
+def run_an_batch(adapter, spec, seeds: Sequence[int]) -> list[TrialOutcome]:
+    """Batched equivalent of ``[adapter.trial(spec, s) for s in seeds]``
+    for Bernoulli node faults with ``q == 0``."""
+    torus = adapter.torus
+    params = adapter.params
+    trials = len(seeds)
+    node_faults = np.empty((trials, params.num_supernodes, params.h), dtype=bool)
+    for i, seed in enumerate(seeds):
+        # Same streams as the scalar trial: ATorus.sample_faults(p, q, seed).
+        node_faults[i] = torus.sample_faults(spec.p, spec.q, seed).node_faults
+    num_faults = node_faults.reshape(trials, -1).sum(axis=1)
+    # Good supernodes: enough good (= non-faulty, since q == 0) nodes.
+    good_counts = params.h - node_faults.sum(axis=2)
+    threshold = params.good_node_threshold(spec.q)
+    faulty_super = (good_counts < threshold).reshape((trials,) + params.base.shape)
+    covered, _ = straight_survival_batch(params.base, faulty_super)
+    outcomes: list[TrialOutcome] = []
+    for t, seed in enumerate(seeds):
+        if covered[t]:
+            outcomes.append(
+                TrialOutcome(success=True, category="ok", num_faults=int(num_faults[t]))
+            )
+        else:
+            outcomes.append(adapter.trial(spec, seed))
+    return outcomes

@@ -72,6 +72,6 @@ def render_row_trace(
     jumps = int((np.diff(row_hosts) != 0).sum())
     header = (
         f"row trace on B^2_{n}: {jumps} diagonal jumps "
-        f"(* = row node, / up-jump, \\ down-jump)"
+        "(* = row node, / up-jump, \\ down-jump)"
     )
     return header + "\n" + "\n".join(lines)

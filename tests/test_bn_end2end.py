@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import BnParams, BTorus
+from repro.core import BTorus
 from repro.errors import ReconstructionError
 from repro.util.rng import spawn_rng
 

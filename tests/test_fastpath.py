@@ -1,0 +1,218 @@
+"""The batched-backend contract: identical outcomes, byte-identical JSON.
+
+Three layers of assurance, strongest first:
+
+* a hypothesis property drawing random ``BnParams``, fault rates, edge
+  rates and health-checking flags, asserting the batched backend returns
+  the *identical* ``TrialOutcome`` sequence to the scalar per-trial loop
+  for the same seeds (ISSUE 2's equivalence satellite);
+* targeted equivalence for the batched healthiness checker (every report
+  field, including the bounded violation samples) and for the an
+  backend's analytic classification;
+* end-to-end byte-identity of experiment JSON between
+  ``ExperimentRunner(batch=True)`` / ``batch=False`` and between the CLI
+  ``--batch`` / ``--no-batch`` flags.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import BatchCapable, ExperimentRunner, ExperimentSpec, FaultSpec, get
+from repro.core.healthiness import check_healthiness, check_healthiness_batch
+from repro.core.params import BnParams
+from repro.fastpath.bn_batch import sample_bn_faults_batch, straight_survival_batch
+from repro.util.rng import spawn_rng
+
+#: Small-but-real parameter sets spanning d=1, d=2 and both s values.
+BN_PARAM_SETS = [
+    dict(d=1, b=3, s=1, t=2),
+    dict(d=2, b=3, s=1, t=2),
+    dict(d=2, b=4, s=1, t=2),
+    dict(d=2, b=5, s=2, t=2),
+]
+
+
+def outcome_tuple(out):
+    return (out.success, out.category, out.num_faults, out.strategy_used, out.healthy)
+
+
+def health_tuple(h):
+    if h is None:
+        return None
+    return (
+        h.cond1_ok, h.cond2_ok, h.cond3_ok, h.cond3_faulty_ok,
+        h.num_faults, h.max_brick_faults,
+        [tuple(int(c) for c in v) for v in h.cond1_violations],
+        [(tuple(int(c) for c in corner), int(n)) for corner, n in h.cond2_violations],
+        [tuple(int(c) for c in v) for v in h.cond3_violations],
+    )
+
+
+# ---------------------------------------------------------------------------
+# The equivalence property (ISSUE 2 satellite)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    params=st.sampled_from(BN_PARAM_SETS),
+    p_mult=st.sampled_from([0.0, 0.25, 1.0, 8.0, 64.0, 256.0]),
+    q=st.sampled_from([0.0, 0.001, 0.01]),
+    check_health=st.booleans(),
+    seed0=st.integers(min_value=0, max_value=10_000),
+)
+def test_bn_batch_equals_scalar(params, p_mult, q, check_health, seed0):
+    bn = get("bn", **params, check_health=check_health)
+    p = min(1.0, p_mult * bn.params.paper_fault_probability)
+    spec = FaultSpec(p=p, q=q)
+    seeds = list(range(seed0, seed0 + 6))
+    batch = bn.run_batch(spec, seeds)
+    scalar = [bn.trial(spec, s) for s in seeds]
+    assert [outcome_tuple(o) for o in batch] == [outcome_tuple(o) for o in scalar]
+    assert [health_tuple(o.health) for o in batch] == [
+        health_tuple(o.health) for o in scalar
+    ]
+
+
+@pytest.mark.parametrize("p", [0.05, 0.2, 0.5])
+def test_an_batch_equals_scalar(p):
+    an = get("an", d=2, b=3, s=1, t=2, k_sub=2, h=8)
+    spec = FaultSpec(p=p)
+    seeds = list(range(8))
+    batch = an.run_batch(spec, seeds)
+    scalar = [an.trial(spec, s) for s in seeds]
+    assert [outcome_tuple(o) for o in batch] == [outcome_tuple(o) for o in scalar]
+
+
+def test_bn_strategy_straight_batch_equals_scalar():
+    """The pure-straight strategy also batches; failures keep their scalar
+    categories via the fallback path."""
+    bn = get("bn", d=2, b=3, s=1, t=2, strategy="straight")
+    spec = FaultSpec(p=0.02)  # dense enough that some covers fail
+    seeds = list(range(12))
+    batch = bn.run_batch(spec, seeds)
+    scalar = [bn.trial(spec, s) for s in seeds]
+    assert [outcome_tuple(o) for o in batch] == [outcome_tuple(o) for o in scalar]
+    assert any(not o.success for o in batch)  # the point: mixed outcomes
+
+
+# ---------------------------------------------------------------------------
+# Batched healthiness checker
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("params_kw", BN_PARAM_SETS)
+def test_health_batch_equals_scalar(params_kw):
+    params = BnParams(**params_kw)
+    rng = spawn_rng(7, "health-batch", params.n, params.d)
+    # Densities straddling all three conditions' breaking points.
+    stack = np.stack(
+        [rng.random(params.shape) < p for p in (0.0, 0.001, 0.01, 0.05, 0.3)]
+    )
+    batch_reports = check_healthiness_batch(params, stack)
+    for i in range(stack.shape[0]):
+        assert health_tuple(check_healthiness(params, stack[i])) == health_tuple(
+            batch_reports[i]
+        )
+
+
+def test_health_batch_rejects_bad_shape():
+    params = BnParams(d=2, b=3, s=1, t=2)
+    with pytest.raises(ValueError, match="fault stack shape"):
+        check_healthiness_batch(params, np.zeros(params.shape, dtype=bool))
+
+
+# ---------------------------------------------------------------------------
+# Kernel internals
+# ---------------------------------------------------------------------------
+
+
+def test_sampler_matches_scalar_streams():
+    from repro.core.bn import BTorus
+
+    params = BnParams(d=2, b=3, s=1, t=2)
+    bt = BTorus(params)
+    stack = sample_bn_faults_batch(bt, 0.01, 0.001, [3, 4, 5])
+    for i, seed in enumerate([3, 4, 5]):
+        rng = spawn_rng(seed, "bn-trial", params.n, params.d)
+        assert (stack[i] == bt.sample_faults(0.01, rng, q=0.001)).all()
+
+
+def test_straight_survival_batch_classification():
+    params = BnParams(d=2, b=3, s=1, t=2)
+    faults = np.zeros((3,) + params.shape, dtype=bool)
+    faults[1, 0, 0] = True                       # one fault: coverable
+    faults[2, :: params.b, 0] = True             # a fault every b rows: hopeless
+    covered, fault_rows = straight_survival_batch(params, faults)
+    assert covered.tolist() == [True, True, False]
+    assert fault_rows.shape == (3, params.m)
+    assert fault_rows[1].sum() == 1
+
+
+def test_batch_capability_surface():
+    """Capability advertisement matches what the backends implement."""
+    bn = get("bn", d=2, b=3, s=1, t=2)
+    an = get("an", d=2, b=3, s=1, t=2, k_sub=2, h=8)
+    dn = get("dn", d=2, n=70, b=2)
+    assert isinstance(bn, BatchCapable) and isinstance(an, BatchCapable)
+    assert not isinstance(dn, BatchCapable)
+    assert bn.supports_batch(FaultSpec(p=0.001))
+    assert not bn.supports_batch(FaultSpec(pattern="random", k=4))
+    assert not get("bn", d=2, b=3, s=1, t=2, strategy="paper").supports_batch(
+        FaultSpec(p=0.001)
+    )
+    assert an.supports_batch(FaultSpec(p=0.1))
+    assert not an.supports_batch(FaultSpec(p=0.1, q=0.001))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end byte-identity
+# ---------------------------------------------------------------------------
+
+
+def _spec():
+    return ExperimentSpec.from_grid(
+        "bn", {"d": 2, "b": 4, "s": 1, "t": 2},
+        p_values=[2.44140625e-04, 2e-3],
+        trials=20,
+        name="fastpath-bi",
+    )
+
+
+def test_runner_batch_json_byte_identical(tmp_path):
+    a, b = tmp_path / "batch.json", tmp_path / "scalar.json"
+    ExperimentRunner(batch=True).run(_spec()).save(a)
+    ExperimentRunner(batch=False).run(_spec()).save(b)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_runner_batch_dispatch_falls_back_for_unsupported():
+    """Constructions without the capability run per-trial under batch=True
+    with unchanged results."""
+    spec = ExperimentSpec.from_grid(
+        "dn", {"d": 2, "n": 70, "b": 2}, patterns=["random"], k=8, trials=4,
+        name="dn-batch",
+    )
+    ra = ExperimentRunner(batch=True).run(spec)
+    rb = ExperimentRunner(batch=False).run(spec)
+    assert json.dumps(ra.to_dict(), sort_keys=True) == json.dumps(
+        rb.to_dict(), sort_keys=True
+    )
+
+
+def test_cli_batch_flag_byte_identical(tmp_path, capsys):
+    from repro.cli import main
+
+    a, b = tmp_path / "with.json", tmp_path / "without.json"
+    args = ["run", "--construction", "bn", "--b", "3", "--p", "0.001",
+            "--trials", "4"]
+    assert main(args + ["--batch", "--out", str(a)]) == 0
+    assert main(args + ["--no-batch", "--out", str(b)]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.healthiness import check_healthiness, find_enclosing_frame
 from repro.topology.grid import TileGeometry

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.params import BnParams
 from repro.core.placement import _cover_linear, _pad_cyclic
 from repro.errors import BandPlacementError
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.graphprops import (
     bfs_distances,
@@ -13,7 +12,6 @@ from repro.analysis.graphprops import (
 )
 from repro.analysis.openproblems import bn_constant_p_decay, one_dimensional_answer
 from repro.core.bn_graph import BnGraph
-from repro.core.params import BnParams
 from repro.topology.torus import torus_graph
 from repro.util.rng import spawn_rng
 

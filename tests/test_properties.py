@@ -12,13 +12,12 @@ These target the deep invariants the constructions rest on:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.bands import BandSet
 from repro.core.bn_graph import BnGraph
 from repro.core.interpolation import interpolate_strip_band
-from repro.core.params import BnParams, DnParams
+from repro.core.params import BnParams
 from repro.core.reconstruction import extract_torus
 
 PARAMS = BnParams(d=2, b=3, s=1, t=2)

@@ -5,9 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.bands import BandSet
 from repro.core.bn_graph import BnGraph
-from repro.core.params import BnParams
 from repro.core.placement import place_bands
 from repro.core.reconstruction import _transition, extract_torus
 from repro.errors import ReconstructionError

@@ -6,7 +6,6 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.viz import figure1, figure2, render_bands
-from repro.viz.ascii_art import render_row_trace
 
 
 class TestFigures:
