@@ -4,22 +4,34 @@
 best previously known constant-degree construction [BCH93b] that tolerates
 Theta(N^{1/3})."
 
-Executable form: inject uniformly random faults one at a time until
-verified recovery first fails.  The measured lifetime should (a) grow with
-N and (b) stay a bounded constant multiple of the theory's ``N b^{-3d}``
-scale.  The ``N^{1/3}`` column is the BCH reference; the asymptotic
-crossover (``N/log^{3d}N`` vs ``N^{1/3}``) lies beyond laptop sizes, so
-the *shape* claim here is the scaling against ``N b^{-3d}``.
+Executable form: drive a uniform fault-arrival timeline (one random node
+per step) until verified recovery first fails.  The measured lifetime
+should (a) grow with N and (b) stay a bounded constant multiple of the
+theory's ``N b^{-3d}`` scale.  The ``N^{1/3}`` column is the BCH
+reference; the asymptotic crossover (``N/log^{3d}N`` vs ``N^{1/3}``) lies
+beyond laptop sizes, so the *shape* claim here is the scaling against
+``N b^{-3d}``.
+
+Since ISSUE 3 this experiment runs through the lifetime subsystem: one
+``ExperimentSpec`` per size with a uniform ``LifetimeSpec`` grid point,
+executed by ``ExperimentRunner`` on the batched lifetime kernel (the
+scalar path is outcome-identical; the RNG streams are the historical
+``fault_lifetime`` ones, so the numbers match the pre-subsystem bench).
+The full ``ExperimentResult`` JSON per size is committed under
+``benchmarks/results/`` alongside the table.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from conftest import run_once
 
-from repro.core.bn import BTorus
-from repro.core.online import fault_lifetime
+from repro.api import ExperimentRunner, ExperimentSpec, LifetimeSpec
 from repro.core.params import BnParams
 from repro.util.tables import Table
+
+RESULTS = Path(__file__).parent / "results"
 
 CASES = [
     BnParams(d=2, b=3, s=1, t=2),  # N = 1 944
@@ -29,25 +41,43 @@ CASES = [
 TRIALS = 5
 
 
+def lifetime_spec_for(params: BnParams) -> ExperimentSpec:
+    return ExperimentSpec(
+        construction="bn",
+        params={"d": params.d, "b": params.b, "s": params.s, "t": params.t},
+        grid=(LifetimeSpec(),),
+        trials=TRIALS,
+        name=f"e17-bn-N{params.num_nodes}",
+    )
+
+
 def test_e17_random_fault_lifetime(benchmark, report):
     def compute():
+        RESULTS.mkdir(exist_ok=True)  # fresh clones lack the results dir
+        runner = ExperimentRunner(batch=True)
         rows = []
         for params in CASES:
-            bt = BTorus(params)
-            lives = sorted(fault_lifetime(bt, seed=s) for s in range(TRIALS))
-            median = lives[TRIALS // 2]
+            result = runner.run(lifetime_spec_for(params))
+            result.save(RESULTS / f"e17_lifetime_N{params.num_nodes}.json")
+            life = result.points[0].result
+            median = int(life.median_lifetime)
             theory = params.num_nodes * params.paper_fault_probability
             rows.append(
                 [params.num_nodes, params.b, median,
                  f"{theory:.1f}", f"{median / theory:.1f}",
-                 int(round(params.num_nodes ** (1 / 3)))]
+                 int(round(params.num_nodes ** (1 / 3))),
+                 f"{life.repair_fraction():.2f}"]
             )
         return rows
 
     rows = run_once(benchmark, compute)
     table = Table(
-        ["N", "b", "median lifetime", "N*b^-3d", "ratio", "N^{1/3} (BCH ref)"],
-        title=f"E17: random faults survived before first failure ({TRIALS} trials)",
+        ["N", "b", "median lifetime", "N*b^-3d", "ratio", "N^{1/3} (BCH ref)",
+         "recompute frac"],
+        title=(
+            f"E17: random faults survived before first failure "
+            f"({TRIALS} trials, ExperimentRunner + batched lifetime kernel)"
+        ),
     )
     for r in rows:
         table.add_row(r)

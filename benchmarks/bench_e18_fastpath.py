@@ -11,10 +11,11 @@ Runs two ways:
 * ``pytest benchmarks/bench_e18_fastpath.py`` — bench-suite integration
   (full measurement, table artifact, regenerates both JSON files);
 * ``python benchmarks/bench_e18_fastpath.py [--quick] [--check PATH]`` —
-  the CI perf-regression gate.  ``--quick`` measures only the headline bn
-  configuration (min-of-N timed, a couple of seconds); ``--check``
-  compares against the committed baseline and exits 1 on a >30%
-  wall-clock regression of the batched kernel.  Because CI runners
+  the CI perf-regression gate.  ``--quick`` measures the headline bn
+  configuration plus the batched *lifetime* kernel on the same instance
+  (min-of-N timed, a couple of seconds); ``--check`` compares both
+  against the committed baseline and exits 1 on a >30%
+  wall-clock regression of either batched kernel.  Because CI runners
   and the machine that produced the baseline differ, the gate normalises
   by the scalar kernel measured in the same process: the batched kernel
   "regressed by 30%" when its speedup over scalar drops below
@@ -101,8 +102,59 @@ def _measure(name: str, params: dict, trials: int, p: float | None = None) -> di
     }
 
 
+#: Lifetime-kernel gate configuration (same instance as the trial gate).
+LIFETIME_TRIALS = 32
+
+
+def _measure_lifetime(params: dict, trials: int) -> dict:
+    """Time scalar vs batched lifetime execution of the same seeds; verify
+    trial-for-trial identical first-failure records (ISSUE 3 contract)."""
+    from repro.api import LifetimeSpec
+    from repro.api.registry import get
+
+    construction = get("bn", **params)
+    spec = LifetimeSpec()
+    seeds = list(range(trials))
+    construction.run_lifetime_batch(spec, seeds[:2])  # warm both paths
+    construction.lifetime_trial(spec, 0)
+
+    batch_s = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        batch_outs = construction.run_lifetime_batch(spec, seeds)
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    scalar_s = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        scalar_outs = [construction.lifetime_trial(spec, s) for s in seeds]
+        scalar_s = min(scalar_s, time.perf_counter() - t0)
+
+    identical = all(
+        (a.lifetime, a.steps, a.category, a.failed, a.masked, a.replaced)
+        == (b.lifetime, b.steps, b.category, b.failed, b.masked, b.replaced)
+        for a, b in zip(batch_outs, scalar_outs)
+    )
+    return {
+        "construction": "bn",
+        "params": params,
+        "timeline": "uniform",
+        "trials": trials,
+        "timing_repeats": REPEATS,
+        "scalar_s": round(scalar_s, 4),
+        "batch_s": round(batch_s, 4),
+        "speedup": round(scalar_s / batch_s, 2) if batch_s > 0 else float("inf"),
+        "outcomes_identical": identical,
+        "median_lifetime": sorted(o.lifetime for o in batch_outs)[trials // 2],
+    }
+
+
 def measure_quick() -> dict:
     return _measure("bn", FULL_BN, QUICK_TRIALS)
+
+
+def measure_lifetime_quick() -> dict:
+    return _measure_lifetime(FULL_BN, LIFETIME_TRIALS)
 
 
 def measure_full() -> dict:
@@ -111,22 +163,27 @@ def measure_full() -> dict:
     bn = _measure("bn", FULL_BN, FULL_TRIALS)
     an = _measure("an", FULL_AN, FULL_TRIALS, p=0.1)
     quick = measure_quick()
+    lifetime_quick = measure_lifetime_quick()
     return {
         "benchmark": (
-            "scalar per-trial vs vectorized run_batch, identical seeds and "
-            "outcomes (repro.fastpath)"
+            "scalar per-trial vs vectorized run_batch / run_lifetime_batch, "
+            "identical seeds and outcomes (repro.fastpath)"
         ),
         "machine_cpus": os.cpu_count(),
         "note": (
             "speedups are same-machine ratios and therefore portable across "
-            "runners; the CI perf gate replays the `quick` configuration and "
-            "fails when its measured speedup drops below speedup/1.3 (a >30% "
-            "wall-clock regression of the batched kernel, normalised by the "
-            "scalar kernel measured in the same process)"
+            "runners; the CI perf gate replays the `quick` and "
+            "`lifetime_quick` configurations and fails when either measured "
+            "speedup drops below speedup/1.3 (a >30% wall-clock regression "
+            "of the batched kernel, normalised by the scalar kernel "
+            "measured in the same process).  The lifetime scalar baseline "
+            "is itself the incremental OnlineRecovery path, so this gate "
+            "covers both lifetime pipelines"
         ),
         "bn_survival_d2_b4": bn,
         "an_survival": an,
         "quick": quick,
+        "lifetime_quick": lifetime_quick,
     }
 
 
@@ -197,7 +254,7 @@ def test_e18_fastpath_speedup(benchmark, report):
         ["case", "trials", "scalar s", "batch s", "speedup", "identical"],
         title="E18: scalar per-trial vs vectorized batch backend",
     )
-    for key in ("bn_survival_d2_b4", "an_survival", "quick"):
+    for key in ("bn_survival_d2_b4", "an_survival", "quick", "lifetime_quick"):
         c = data[key]
         table.add_row(
             [key, c["trials"], c["scalar_s"], c["batch_s"],
@@ -207,6 +264,7 @@ def test_e18_fastpath_speedup(benchmark, report):
 
     bn = data["bn_survival_d2_b4"]
     assert bn["outcomes_identical"] and data["an_survival"]["outcomes_identical"]
+    assert data["lifetime_quick"]["outcomes_identical"]
     # ISSUE 2 acceptance: >= 10x on bn survival at d=2, b=4.
     assert bn["speedup"] >= 10.0, f"batched speedup {bn['speedup']}x < 10x"
 
@@ -228,14 +286,18 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     if args.quick:
-        data = {"quick": measure_quick()}
+        data = {"quick": measure_quick(), "lifetime_quick": measure_lifetime_quick()}
     else:
         data = measure_full()
     print(json.dumps(data, indent=2, sort_keys=True))
 
-    if not data["quick"]["outcomes_identical"]:
-        print("FAIL: batched outcomes differ from scalar outcomes", file=sys.stderr)
-        return 1
+    for key in ("quick", "lifetime_quick"):
+        if not data[key]["outcomes_identical"]:
+            print(
+                f"FAIL: batched outcomes differ from scalar outcomes ({key})",
+                file=sys.stderr,
+            )
+            return 1
 
     if args.out:
         Path(args.out).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
@@ -247,18 +309,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {FASTPATH_JSON} and {RUNNER_JSON}")
 
     if args.check:
-        baseline = json.loads(Path(args.check).read_text())["quick"]["speedup"]
-        measured = data["quick"]["speedup"]
-        floor = baseline / TOLERANCE
-        verdict = "OK" if measured >= floor else "REGRESSION"
-        print(
-            f"perf gate: measured speedup {measured:.1f}x vs baseline "
-            f"{baseline:.1f}x (floor {floor:.1f}x) -> {verdict}"
-        )
-        if measured < floor:
+        baselines = json.loads(Path(args.check).read_text())
+        failed = False
+        for key in ("quick", "lifetime_quick"):
+            if key not in baselines:
+                # Pre-lifetime baselines lack the key; gate what exists.
+                continue
+            baseline = baselines[key]["speedup"]
+            measured = data[key]["speedup"]
+            floor = baseline / TOLERANCE
+            verdict = "OK" if measured >= floor else "REGRESSION"
             print(
-                "FAIL: batched kernel regressed >30% relative to the scalar "
-                "kernel on this machine",
+                f"perf gate [{key}]: measured speedup {measured:.1f}x vs "
+                f"baseline {baseline:.1f}x (floor {floor:.1f}x) -> {verdict}"
+            )
+            if measured < floor:
+                failed = True
+        if failed:
+            print(
+                "FAIL: a batched kernel regressed >30% relative to the "
+                "scalar kernel on this machine",
                 file=sys.stderr,
             )
             return 1

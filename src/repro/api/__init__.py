@@ -25,6 +25,11 @@ _EXPORTS = {
     "BatchCapable": "repro.api.protocol",
     "Construction": "repro.api.protocol",
     "FaultSpec": "repro.api.protocol",
+    "LifetimeCapable": "repro.api.protocol",
+    "LifetimeSpec": "repro.api.protocol",
+    "LifetimeOutcome": "repro.api.lifetime",
+    "LifetimeResult": "repro.api.lifetime",
+    "aggregate_lifetimes": "repro.api.lifetime",
     "available": "repro.api.registry",
     "get": "repro.api.registry",
     "register": "repro.api.registry",

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.lifetime import LifetimeOutcome, run_timeline
 from repro.api.outcome import TrialOutcome
-from repro.api.protocol import FaultSpec
+from repro.api.protocol import FaultSpec, LifetimeSpec
 from repro.api.registry import register
 from repro.errors import ReconstructionError
 from repro.faults.adversary import adversarial_node_faults
@@ -61,6 +62,26 @@ class _AdapterBase:
             return TrialOutcome(success=True, category="ok", num_faults=n_faults)
         except ReconstructionError as exc:
             return TrialOutcome(success=False, category=exc.category, num_faults=n_faults)
+
+    # -- lifetime capability (generic full-recompute driver) ----------------
+
+    def _lifetime_shape(self) -> tuple:
+        """Node shape the fault timeline runs over."""
+        return self.params.shape
+
+    def _lifetime_recover(self, faults):
+        """Recovery attempt for a boolean fault array of ``_lifetime_shape``."""
+        return self.recover(faults)
+
+    def lifetime_trial(self, spec: LifetimeSpec, seed: int) -> LifetimeOutcome:
+        """One seeded fault-arrival timeline driven to first failure.
+
+        The generic driver recomputes recovery from scratch after every
+        new fault; ``bn`` overrides this with the incremental
+        :class:`~repro.core.online.OnlineRecovery` path.
+        """
+        rng = spawn_rng(seed, f"{self.name}-lifetime")
+        return run_timeline(spec, self._lifetime_shape(), rng, self._lifetime_recover)
 
 
 # ---------------------------------------------------------------------------
@@ -120,6 +141,31 @@ class BnConstruction(_AdapterBase):
         from repro.fastpath.bn_batch import run_bn_batch
 
         return run_bn_batch(self, spec, seeds)
+
+    def lifetime_trial(self, spec: LifetimeSpec, seed: int) -> LifetimeOutcome:
+        """Incremental lifetime trial on the historical ``fault_lifetime``
+        RNG stream, so registry-driven lifetime experiments reproduce the
+        pre-subsystem numbers for the same seeds."""
+        from repro.core.online import OnlineRecovery, run_online_timeline
+
+        online = OnlineRecovery(self.torus, incremental=True, strategy=self.strategy)
+        rng = spawn_rng(seed, "lifetime", self.params.n, self.params.d)
+        return run_online_timeline(online, spec, rng)
+
+    def supports_lifetime_batch(self, spec: LifetimeSpec) -> bool:
+        """Uniform no-repair timelines on straight-capable strategies — the
+        regime where the kernel's lockstep masked checks apply; repair
+        processes and the other timeline kinds stay on the scalar path."""
+        return (
+            spec.timeline == "uniform"
+            and spec.repair_rate == 0.0
+            and self.strategy in ("auto", "straight")
+        )
+
+    def run_lifetime_batch(self, spec: LifetimeSpec, seeds: list) -> list:
+        from repro.fastpath.lifetime_batch import run_bn_lifetime_batch
+
+        return run_bn_lifetime_batch(self, spec, seeds)
 
 
 @register("bn")
@@ -214,6 +260,17 @@ class AnConstruction(_AdapterBase):
             return TrialOutcome(success=True, category="ok", num_faults=n_faults)
         except ReconstructionError as exc:
             return TrialOutcome(success=False, category=exc.category, num_faults=n_faults)
+
+    def _lifetime_shape(self) -> tuple:
+        return (self.params.num_supernodes, self.params.h)
+
+    def _lifetime_recover(self, faults):
+        from repro.core.an import AnFaultState
+        from repro.faults.models import HalfEdgeFaults
+
+        return self.torus.recover(
+            AnFaultState(node_faults=faults, half=HalfEdgeFaults(0.0, 0), p=0.0, q=0.0)
+        )
 
     def supports_batch(self, spec: FaultSpec) -> bool:
         """Node-fault-only points: with ``q > 0`` the greedy embedding
@@ -348,6 +405,9 @@ class AlonChungConstruction(_AdapterBase):
         except ReconstructionError as exc:
             return TrialOutcome(success=False, category=exc.category, num_faults=n_faults)
 
+    def _lifetime_shape(self) -> tuple:
+        return (self.num_nodes,)
+
 
 @register("alon_chung")
 def _make_alon_chung(*, n: int = 60, blowup: float = 3.0,
@@ -427,6 +487,9 @@ class ReplicationConstruction(_AdapterBase):
         except ReconstructionError as exc:
             return TrialOutcome(success=False, category=exc.category, num_faults=n_faults)
 
+    def _lifetime_shape(self) -> tuple:
+        return (self.torus.num_clusters, self.torus.r)
+
 
 @register("replication")
 def _make_replication(*, n: int = 8, d: int = 2, replication: int | None = None,
@@ -484,6 +547,9 @@ class SpareRowsConstruction(_AdapterBase):
 
     def recover(self, faults):
         return self.torus.recover(faults)
+
+    def _lifetime_shape(self) -> tuple:
+        return (self.torus.m, self.torus.n)
 
 
 @register("sparerows")

@@ -35,7 +35,8 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.analysis.montecarlo import MCResult, MonteCarlo, aggregate_outcomes
-from repro.api.protocol import FaultSpec
+from repro.api.lifetime import LifetimeResult, aggregate_lifetimes
+from repro.api.protocol import FaultSpec, LifetimeSpec
 
 __all__ = ["ExperimentResult", "ExperimentRunner", "ExperimentSpec", "PointResult"]
 
@@ -47,13 +48,25 @@ RESULT_FORMAT = "repro-experiment-v1"
 DEFAULT_CHUNK_SIZE = 16
 
 
+def _point_from_dict(d: dict) -> "FaultSpec | LifetimeSpec":
+    """Rebuild a grid point; ``timeline`` discriminates lifetime points."""
+    return LifetimeSpec.from_dict(d) if "timeline" in d else FaultSpec.from_dict(d)
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """A complete, serialisable description of one experiment."""
+    """A complete, serialisable description of one experiment.
+
+    Grid points may be :class:`FaultSpec`\\ s (one-shot trials aggregated
+    into ``MCResult``) or :class:`LifetimeSpec`\\ s (fault-arrival
+    timelines aggregated into
+    :class:`~repro.api.lifetime.LifetimeResult`); the runner dispatches
+    per point, and both kinds obey the same determinism contract.
+    """
 
     construction: str
     params: Mapping = field(default_factory=dict)
-    grid: tuple[FaultSpec, ...] = ()
+    grid: tuple["FaultSpec | LifetimeSpec", ...] = ()
     trials: int = 10
     seed0: int = 0
     name: str = ""
@@ -79,6 +92,7 @@ class ExperimentSpec:
         q: float = 0.0,
         patterns: Sequence[str] = (),
         k: int | None = None,
+        lifetimes: "Sequence[LifetimeSpec]" = (),
         trials: int = 10,
         seed0: int = 0,
         name: str = "",
@@ -86,11 +100,13 @@ class ExperimentSpec:
         """Build the fault grid from value lists.
 
         ``patterns`` yields adversarial points (budget ``k``); ``p_values``
-        yields Bernoulli points at edge-fault rate ``q``.  Both may be given
-        (patterns first, then probabilities).
+        yields Bernoulli points at edge-fault rate ``q``; ``lifetimes``
+        appends timeline points.  Any combination may be given (patterns,
+        then probabilities, then lifetimes).
         """
-        grid = [FaultSpec(pattern=pat, k=k) for pat in patterns]
+        grid: list = [FaultSpec(pattern=pat, k=k) for pat in patterns]
         grid += [FaultSpec(p=float(p), q=q) for p in p_values]
+        grid += list(lifetimes)
         return cls(
             construction=construction,
             params=dict(params or {}),
@@ -116,7 +132,7 @@ class ExperimentSpec:
         return cls(
             construction=d["construction"],
             params=dict(d.get("params", {})),
-            grid=tuple(FaultSpec.from_dict(fs) for fs in d["grid"]),
+            grid=tuple(_point_from_dict(fs) for fs in d["grid"]),
             trials=int(d["trials"]),
             seed0=int(d.get("seed0", 0)),
             name=d.get("name", ""),
@@ -126,16 +142,26 @@ class ExperimentSpec:
 
 @dataclass
 class PointResult:
-    """Merged outcome of one fault-grid point."""
+    """Merged outcome of one grid point (fault or lifetime)."""
 
-    fault_spec: FaultSpec
-    result: MCResult
+    fault_spec: "FaultSpec | LifetimeSpec"
+    result: "MCResult | LifetimeResult"
 
     def to_dict(self) -> dict:
+        if isinstance(self.fault_spec, LifetimeSpec):
+            return {
+                "lifetime_spec": self.fault_spec.to_dict(),
+                "result": self.result.to_dict(),
+            }
         return {"fault_spec": self.fault_spec.to_dict(), "result": self.result.to_dict()}
 
     @classmethod
     def from_dict(cls, d: dict) -> "PointResult":
+        if "lifetime_spec" in d:
+            return cls(
+                fault_spec=LifetimeSpec.from_dict(d["lifetime_spec"]),
+                result=LifetimeResult.from_dict(d["result"]),
+            )
         return cls(
             fault_spec=FaultSpec.from_dict(d["fault_spec"]),
             result=MCResult.from_dict(d["result"]),
@@ -225,14 +251,25 @@ def _run_chunk(task: tuple) -> dict:
     """
     name, params_items, fault_spec_dict, seed_start, count, use_batch = task
     construction = _cached_construction(name, params_items)
-    fault_spec = FaultSpec.from_dict(fault_spec_dict)
+    point = _point_from_dict(fault_spec_dict)
+    seeds = list(range(seed_start, seed_start + count))
+    if isinstance(point, LifetimeSpec):
+        lifetime_trial = getattr(construction, "lifetime_trial", None)
+        if lifetime_trial is None:
+            raise TypeError(f"construction {name!r} has no lifetime capability")
+        if use_batch:
+            run_lb = getattr(construction, "run_lifetime_batch", None)
+            supports_lb = getattr(construction, "supports_lifetime_batch", None)
+            if run_lb is not None and (supports_lb is None or supports_lb(point)):
+                return aggregate_lifetimes(run_lb(point, seeds)).to_dict()
+        return aggregate_lifetimes(lifetime_trial(point, s) for s in seeds).to_dict()
     if use_batch:
         run_batch = getattr(construction, "run_batch", None)
         supports = getattr(construction, "supports_batch", None)
-        if run_batch is not None and (supports is None or supports(fault_spec)):
-            outcomes = run_batch(fault_spec, list(range(seed_start, seed_start + count)))
+        if run_batch is not None and (supports is None or supports(point)):
+            outcomes = run_batch(point, seeds)
             return aggregate_outcomes(outcomes).to_dict()
-    mc = MonteCarlo(lambda seed: construction.trial(fault_spec, seed))
+    mc = MonteCarlo(lambda seed: construction.trial(point, seed))
     return mc.run(count, seed0=seed_start).to_dict()
 
 
@@ -279,9 +316,10 @@ class ExperimentRunner:
         chunks_per_point = -(-spec.trials // spec.chunk_size)
         points = []
         for i, fs in enumerate(spec.grid):
+            res_cls = LifetimeResult if isinstance(fs, LifetimeSpec) else MCResult
             parts = [
-                MCResult.from_dict(raw[i * chunks_per_point + j])
+                res_cls.from_dict(raw[i * chunks_per_point + j])
                 for j in range(chunks_per_point)
             ]
-            points.append(PointResult(fault_spec=fs, result=MCResult.merged(parts)))
+            points.append(PointResult(fault_spec=fs, result=res_cls.merged(parts)))
         return ExperimentResult(spec=spec, points=points, elapsed=time.perf_counter() - t0)

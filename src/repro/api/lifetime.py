@@ -1,0 +1,279 @@
+"""Lifetime trial outcomes, their aggregate, and the generic driver.
+
+A *lifetime trial* replays one seeded fault timeline
+(:mod:`repro.faults.timeline`) against a construction until verified
+recovery first fails.  :class:`LifetimeOutcome` is the per-trial record
+(the analogue of :class:`~repro.api.outcome.TrialOutcome`);
+:class:`LifetimeResult` is the per-grid-point aggregate (the analogue of
+:class:`~repro.analysis.montecarlo.MCResult`) and obeys the same
+determinism contract: per-trial lifetimes are kept in seed order, chunk
+merges concatenate in chunk order, and ``to_dict`` is JSON-stable — so
+serial, parallel and batched experiment runs serialise byte-identically.
+
+:func:`run_timeline` is the generic full-recompute driver used by
+constructions without bespoke incremental machinery (``an``, ``dn``):
+it maintains a boolean fault array, feeds timeline events through a
+``recover`` callable, and classifies the first failure.  ``B^d_n``
+overrides this with the genuinely incremental
+:class:`~repro.core.online.OnlineRecovery` path.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.api.protocol import LifetimeSpec
+from repro.errors import ReconstructionError
+from repro.faults.timeline import make_timeline
+
+__all__ = [
+    "LifetimeOutcome",
+    "LifetimeResult",
+    "aggregate_lifetimes",
+    "drive_timeline",
+    "run_timeline",
+    "timeline_for",
+]
+
+
+@dataclass
+class LifetimeOutcome:
+    """Result of one fault-arrival timeline driven to first failure."""
+
+    #: Fault arrivals survived before recovery first failed (the paper's
+    #: "tolerates Theta(N log^{-3d} N) random faults", measured).
+    lifetime: int
+    #: Timeline steps consumed (== lifetime for one-arrival-per-step kinds).
+    steps: int
+    #: "ok" when the timeline ran dry without a failure, otherwise the
+    #: ReconstructionError category of the terminal arrival.
+    category: str
+    failed: bool
+    #: Arrivals absorbed without recomputation (already under a band).
+    masked: int = 0
+    #: Arrivals that forced a placement recomputation.
+    replaced: int = 0
+    #: Repair events applied (timelines with repair_rate > 0).
+    repaired: int = 0
+
+
+@dataclass
+class LifetimeResult:
+    """Aggregated lifetimes of a batch of timeline trials.
+
+    ``lifetimes`` stays in seed order — the merge concatenates parts in
+    chunk order, which is what keeps serial and parallel runs of the same
+    spec byte-identical (integer lists have no float-accumulation order
+    sensitivity, so this aggregate is even sturdier than ``MCResult``).
+    """
+
+    trials: int
+    lifetimes: list[int] = field(default_factory=list)
+    categories: Counter = field(default_factory=Counter)
+    masked: int = 0
+    replaced: int = 0
+    repaired: int = 0
+    #: Trials whose timeline ran dry before any failure.
+    exhausted: int = 0
+
+    # -- summary statistics --------------------------------------------------
+
+    @property
+    def mean_lifetime(self) -> float:
+        return float(np.mean(self.lifetimes)) if self.lifetimes else float("nan")
+
+    @property
+    def median_lifetime(self) -> float:
+        return float(np.median(self.lifetimes)) if self.lifetimes else float("nan")
+
+    @property
+    def min_lifetime(self) -> int:
+        return min(self.lifetimes) if self.lifetimes else 0
+
+    @property
+    def max_lifetime(self) -> int:
+        return max(self.lifetimes) if self.lifetimes else 0
+
+    def survival_curve(self, grid: Sequence[int]) -> list[float]:
+        """Fraction of trials surviving at least ``g`` arrivals, per grid point."""
+        lives = np.asarray(self.lifetimes)
+        return [float((lives >= g).mean()) if len(lives) else float("nan") for g in grid]
+
+    def repair_fraction(self) -> float:
+        """Fraction of arrivals that forced a recomputation."""
+        arrivals = self.masked + self.replaced
+        return self.replaced / arrivals if arrivals else 0.0
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.trials} lifetimes: min={self.min_lifetime} "
+            f"median={self.median_lifetime:g} max={self.max_lifetime}"
+        ]
+        fails = {k: v for k, v in self.categories.items() if k != "ok"}
+        if fails:
+            parts.append("deaths: " + ", ".join(f"{k}={v}" for k, v in sorted(fails.items())))
+        if self.exhausted:
+            parts.append(f"exhausted={self.exhausted}")
+        if self.repaired:
+            parts.append(f"repaired={self.repaired}")
+        return "; ".join(parts)
+
+    # -- persistence / merging ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation (see docs/results-format.md)."""
+        return {
+            "kind": "lifetime",
+            "trials": self.trials,
+            "lifetimes": [int(x) for x in self.lifetimes],
+            "categories": {k: int(v) for k, v in sorted(self.categories.items())},
+            "masked": self.masked,
+            "replaced": self.replaced,
+            "repaired": self.repaired,
+            "exhausted": self.exhausted,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LifetimeResult":
+        return cls(
+            trials=int(d["trials"]),
+            lifetimes=[int(x) for x in d.get("lifetimes", [])],
+            categories=Counter(d.get("categories", {})),
+            masked=int(d.get("masked", 0)),
+            replaced=int(d.get("replaced", 0)),
+            repaired=int(d.get("repaired", 0)),
+            exhausted=int(d.get("exhausted", 0)),
+        )
+
+    @classmethod
+    def merged(cls, parts: Sequence["LifetimeResult"]) -> "LifetimeResult":
+        """Concatenate disjoint trial batches in the order given."""
+        out = cls(trials=0)
+        for part in parts:
+            out.trials += part.trials
+            out.lifetimes.extend(part.lifetimes)
+            out.categories.update(part.categories)
+            out.masked += part.masked
+            out.replaced += part.replaced
+            out.repaired += part.repaired
+            out.exhausted += part.exhausted
+        return out
+
+
+def aggregate_lifetimes(outcomes: Iterable[LifetimeOutcome]) -> LifetimeResult:
+    """Fold a stream of lifetime outcomes into one :class:`LifetimeResult`.
+
+    The single accumulation path shared by the per-trial driver and the
+    batched lifetime kernel, mirroring
+    :func:`repro.analysis.montecarlo.aggregate_outcomes`.
+    """
+    res = LifetimeResult(trials=0)
+    for out in outcomes:
+        res.trials += 1
+        res.lifetimes.append(out.lifetime)
+        res.categories[out.category] += 1
+        res.masked += out.masked
+        res.replaced += out.replaced
+        res.repaired += out.repaired
+        if not out.failed:
+            res.exhausted += 1
+    return res
+
+
+def timeline_for(spec: LifetimeSpec):
+    """The :class:`~repro.faults.timeline.FaultTimeline` a spec describes."""
+    return make_timeline(
+        spec.timeline,
+        rate=spec.rate,
+        burst=spec.burst,
+        pattern=spec.pattern,
+        k=spec.k,
+        repair_rate=spec.repair_rate,
+        max_steps=spec.max_steps,
+    )
+
+
+def drive_timeline(
+    spec: LifetimeSpec,
+    shape: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    on_fault: Callable[[int], str],
+    on_repair: Callable[[int], None],
+    observer: Callable[[int], None] | None = None,
+) -> LifetimeOutcome:
+    """The single lifetime event loop, shared by every recovery backend.
+
+    ``on_fault(flat_node)`` applies one arrival and returns ``"masked"``
+    or ``"replaced"`` (raising :class:`ReconstructionError` on the first
+    unrecoverable fault — the trial's death); ``on_repair(flat_node)``
+    applies one repair.  Step bounds, tally accounting and failure
+    classification live here and nowhere else, so the generic
+    full-recompute driver and the incremental ``OnlineRecovery`` driver
+    cannot drift apart.  ``observer(arrivals_survived)`` — when given —
+    fires after every survived arrival (traffic-snapshot hook).
+    """
+    shape = tuple(int(s) for s in shape)
+    out = LifetimeOutcome(lifetime=0, steps=0, category="ok", failed=False)
+    for ev in timeline_for(spec).events(shape, rng):
+        if spec.max_steps is not None and ev.step >= spec.max_steps:
+            break
+        out.steps = ev.step + 1
+        if ev.kind == "repair":
+            on_repair(ev.node)
+            out.repaired += 1
+            continue
+        try:
+            action = on_fault(ev.node)
+        except ReconstructionError as exc:
+            out.failed = True
+            out.category = exc.category
+            return out
+        if action == "masked":
+            out.masked += 1
+        else:
+            out.replaced += 1
+        out.lifetime += 1
+        if observer is not None:
+            observer(out.lifetime)
+    if not out.failed and spec.timeline in ("bernoulli", "burst"):
+        # Step-driven kinds span exactly max_steps steps; trailing
+        # arrival-free steps are consumed even though they emit no events.
+        out.steps = spec.max_steps
+    return out
+
+
+def run_timeline(
+    spec: LifetimeSpec,
+    shape: Sequence[int],
+    rng: np.random.Generator,
+    recover: Callable[[np.ndarray], object],
+) -> LifetimeOutcome:
+    """Generic (full-recompute) lifetime driver.
+
+    Feeds the spec's timeline into a boolean fault array over ``shape``
+    and calls ``recover(faults)`` after every *new* fault (arrivals on
+    already-faulty nodes are redundant and counted as masked; repairs
+    clear the bit without a recompute — a recovery valid for a fault
+    superset stays valid).  Returns the first-failure record.  This is the
+    reference semantics that incremental drivers must reproduce.
+    """
+    shape = tuple(int(s) for s in shape)
+    faults = np.zeros(shape, dtype=bool)
+    flat = faults.ravel()
+
+    def on_fault(node: int) -> str:
+        if flat[node]:
+            return "masked"
+        flat[node] = True
+        recover(faults)  # raises ReconstructionError on death
+        return "replaced"
+
+    def on_repair(node: int) -> None:
+        flat[node] = False
+
+    return drive_timeline(spec, shape, rng, on_fault=on_fault, on_repair=on_repair)

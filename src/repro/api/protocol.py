@@ -25,6 +25,13 @@ byte-identical whichever path executes (see docs/fastpath.md).  The
 capability is deliberately *not* part of :class:`Construction`: the
 runner probes for it with ``getattr`` and falls back per-trial.
 
+The *lifetime capability* (:class:`LifetimeCapable`) is the third pillar:
+``lifetime_trial(spec, seed)`` drives a :class:`LifetimeSpec` fault
+timeline against the construction until recovery first fails, and the
+optional ``supports_lifetime_batch``/``run_lifetime_batch`` pair
+vectorizes whole seed chunks of lifetime trials under the same
+identical-outcome contract as ``run_batch`` (see docs/lifetime.md).
+
 The fault *state* passed between ``sample_faults`` and ``recover`` is
 deliberately opaque (``Any``): ``B``/``D`` use boolean node arrays, ``A``
 uses an :class:`~repro.core.an.AnFaultState` with lazy half-edge bits,
@@ -43,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api.outcome import TrialOutcome
     from repro.topology.graph import CSRGraph
 
-__all__ = ["BatchCapable", "Construction", "FaultSpec"]
+__all__ = ["BatchCapable", "Construction", "FaultSpec", "LifetimeCapable", "LifetimeSpec"]
 
 
 @dataclass(frozen=True)
@@ -91,6 +98,77 @@ class FaultSpec:
         return cls(**d)
 
 
+#: Timeline kinds accepted by :class:`LifetimeSpec` (mirrors
+#: :data:`repro.faults.timeline.TIMELINE_KINDS`; kept literal so this module
+#: stays import-light).
+_TIMELINE_KINDS = ("uniform", "bernoulli", "burst", "adversarial")
+
+
+@dataclass(frozen=True)
+class LifetimeSpec:
+    """One point of a lifetime (fault-*arrival*) model.
+
+    Where :class:`FaultSpec` describes a single fault draw, a
+    ``LifetimeSpec`` describes an arrival process from
+    :mod:`repro.faults.timeline`: ``timeline`` names the kind, ``rate`` is
+    the Bernoulli per-step fault rate, ``burst`` the per-step burst size,
+    ``pattern``/``k`` the adversarial campaign, ``repair_rate`` the rate
+    ``rho`` at which faulty nodes are fixed, and ``max_steps`` bounds the
+    stream (required for the step-driven ``bernoulli``/``burst`` kinds).
+    A grid point of this type makes the runner measure *lifetimes* —
+    arrivals survived before recovery first fails — instead of one-shot
+    trial outcomes.
+    """
+
+    timeline: str = "uniform"
+    rate: float = 0.0
+    burst: int = 0
+    pattern: str = ""
+    k: int | None = None
+    repair_rate: float = 0.0
+    max_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeline not in _TIMELINE_KINDS:
+            raise ValueError(
+                f"unknown timeline {self.timeline!r}; options: {_TIMELINE_KINDS}"
+            )
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate={self.rate} out of [0, 1]")
+        if not (0.0 <= self.repair_rate <= 1.0):
+            raise ValueError(f"repair_rate={self.repair_rate} out of [0, 1]")
+        if self.timeline == "bernoulli" and (self.rate <= 0.0 or self.max_steps is None):
+            raise ValueError("bernoulli timelines need rate > 0 and max_steps")
+        if self.timeline == "burst" and (self.burst < 1 or self.max_steps is None):
+            raise ValueError("burst timelines need burst >= 1 and max_steps")
+        if self.timeline == "adversarial" and not self.pattern:
+            raise ValueError("adversarial timelines need a pattern")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+
+    def label(self) -> str:
+        """Compact human/JSON-key label for tables and result files."""
+        parts = [f"life/{self.timeline}"]
+        if self.timeline == "bernoulli":
+            parts.append(f"rate={self.rate:g}")
+        elif self.timeline == "burst":
+            parts.append(f"burst={self.burst}")
+        elif self.timeline == "adversarial":
+            parts.append(self.pattern + (f"/k={self.k}" if self.k is not None else ""))
+        if self.repair_rate:
+            parts.append(f"rho={self.repair_rate:g}")
+        if self.max_steps is not None:
+            parts.append(f"steps={self.max_steps}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LifetimeSpec":
+        return cls(**d)
+
+
 @runtime_checkable
 class Construction(Protocol):
     """Structural interface shared by all six registered constructions."""
@@ -125,3 +203,19 @@ class BatchCapable(Protocol):
     def supports_batch(self, spec: FaultSpec) -> bool: ...
 
     def run_batch(self, spec: FaultSpec, seeds: "list[int]") -> "list[TrialOutcome]": ...
+
+
+@runtime_checkable
+class LifetimeCapable(Protocol):
+    """Optional lifetime capability of a construction.
+
+    ``lifetime_trial`` runs one seeded fault-arrival timeline to first
+    recovery failure and returns a
+    :class:`~repro.api.lifetime.LifetimeOutcome`.  Constructions may
+    additionally expose the batched pair
+    ``supports_lifetime_batch``/``run_lifetime_batch`` with the same
+    identical-outcome contract as :class:`BatchCapable`; the runner probes
+    for all three with ``getattr`` exactly as it does for batch trials.
+    """
+
+    def lifetime_trial(self, spec: LifetimeSpec, seed: int): ...

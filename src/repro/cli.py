@@ -3,6 +3,7 @@
 Subcommands
 -----------
 ``run``       generic experiment driver over any registered construction
+``lifetime``  fault-arrival timelines driven to first recovery failure
 ``info``      print derived parameters of a construction
 ``bn-trial``  fault-injection trials against B^d_n
 ``dn-attack`` adversarial campaign against D^d_{n,k}
@@ -135,19 +136,82 @@ def _cmd_dn_attack(args: argparse.Namespace) -> int:
 
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
-    from repro.core.bn import BTorus
-    from repro.core.online import fault_lifetime
-    from repro.core.params import BnParams
+    from repro.api import ExperimentRunner, ExperimentSpec, LifetimeSpec
+    from repro.errors import ParameterError
 
-    params = BnParams(d=args.d, b=args.b, s=args.s, t=args.t)
-    bt = BTorus(params)
-    lives = sorted(fault_lifetime(bt, seed=args.seed + i) for i in range(args.trials))
-    print(params.describe())
-    print(
-        f"random faults survived before first failure over {args.trials} trials: "
-        f"min={lives[0]} median={lives[len(lives) // 2]} max={lives[-1]}"
+    params = {
+        key: getattr(args, key)
+        for key in _RUN_PARAMS[args.construction]
+        if getattr(args, key) is not None
+    }
+    try:
+        lspec = LifetimeSpec(
+            timeline=args.timeline,
+            rate=args.rate,
+            burst=args.burst,
+            pattern=args.pattern,
+            k=args.k,
+            repair_rate=args.repair_rate,
+            max_steps=args.max_steps,
+        )
+    except ValueError as exc:
+        print(f"lifetime: {exc}", file=sys.stderr)
+        return 2
+    if args.traffic and args.construction != "bn":
+        # Validate before the (possibly long) experiment runs.
+        print("lifetime: --traffic snapshots support bn only", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        construction=args.construction,
+        params=params,
+        grid=(lspec,),
+        trials=args.trials,
+        seed0=args.seed,
+        name=args.name or f"{args.construction}-lifetime",
     )
-    print(f"theory scale N*b^-3d = {params.num_nodes * params.paper_fault_probability:.1f}")
+    try:
+        result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
+    except (ParameterError, ValueError) as exc:
+        print(f"lifetime: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if args.construction == "bn":
+        from repro.core.params import BnParams
+
+        bp = BnParams(
+            d=params.get("d", 2), b=params.get("b", 3),
+            s=params.get("s", 1), t=params.get("t", 2),
+        )
+        print(f"theory scale N*b^-3d = {bp.num_nodes * bp.paper_fault_probability:.1f}")
+        if args.traffic:
+            from repro.core.bn import BTorus
+            from repro.sim.lifetime_traffic import lifetime_traffic_snapshots
+
+            checkpoints = (
+                [int(x) for x in args.checkpoints.split(",")]
+                if args.checkpoints
+                else [5, 10, 20]
+            )
+            snap = lifetime_traffic_snapshots(
+                BTorus(bp), lspec, args.seed, checkpoints,
+                pattern=args.traffic, messages=args.messages,
+                strategy=params.get("strategy", "auto"),
+            )
+            print(
+                f"traffic snapshots ('{args.traffic}', {args.messages} messages), "
+                f"trial seed {args.seed}, lifetime {snap['lifetime']}:"
+            )
+            for s in snap["snapshots"]:
+                st = s["stats"]
+                print(
+                    f"  @{s['arrivals']:>4} arrivals: faults={s['num_faults']} "
+                    f"p50={st['p50']:g} p99={st['p99']:g} "
+                    f"timed_out={st['timed_out']} "
+                    f"pristine={'yes' if s['matches_pristine'] else 'NO'}"
+                )
+    if args.out:
+        result.save(args.out)
+        print(f"results written to {args.out}")
     return 0
 
 
@@ -196,6 +260,34 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_construction_args(parser: argparse.ArgumentParser) -> None:
+    """Construction-sizing flags shared by ``run`` and ``lifetime``.
+
+    One flag per factory kwarg named in :data:`_RUN_PARAMS`; ``None``
+    defaults mean "not passed to the factory".  A single definition keeps
+    the two subcommands from drifting apart.
+    """
+    parser.add_argument("--d", type=int, default=None)
+    parser.add_argument("--b", type=int, default=None)
+    parser.add_argument("--s", type=int, default=None)
+    parser.add_argument("--t", type=int, default=None)
+    parser.add_argument("--n", type=int, default=None)
+    parser.add_argument("--k-sub", dest="k_sub", type=int, default=None)
+    parser.add_argument("--h", type=int, default=None)
+    parser.add_argument("--c", type=float, default=None,
+                        help="an: overhead constant used when --h is omitted")
+    parser.add_argument("--blowup", type=float, default=None)
+    parser.add_argument("--kind", type=str, default=None,
+                        help="alon_chung: expander kind (gabber-galil | random-regular)")
+    parser.add_argument("--replication", type=int, default=None)
+    parser.add_argument("--c-r", dest="c_r", type=float, default=None,
+                        help="replication: cluster-size constant used when "
+                             "--replication is omitted")
+    parser.add_argument("--sigma", type=int, default=None)
+    parser.add_argument("--strategy", type=str, default=None,
+                        help="bn: band-placement strategy (auto | straight | paper)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro-ft",
@@ -225,24 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "byte-identical either way)")
     p_run.add_argument("--out", type=str, default="", help="write results JSON here")
     p_run.add_argument("--name", type=str, default="", help="experiment name for the report")
-    p_run.add_argument("--d", type=int, default=None)
-    p_run.add_argument("--b", type=int, default=None)
-    p_run.add_argument("--s", type=int, default=None)
-    p_run.add_argument("--t", type=int, default=None)
-    p_run.add_argument("--n", type=int, default=None)
-    p_run.add_argument("--k-sub", dest="k_sub", type=int, default=None)
-    p_run.add_argument("--h", type=int, default=None)
-    p_run.add_argument("--c", type=float, default=None,
-                       help="an: overhead constant used when --h is omitted")
-    p_run.add_argument("--blowup", type=float, default=None)
-    p_run.add_argument("--kind", type=str, default=None,
-                       help="alon_chung: expander kind (gabber-galil | random-regular)")
-    p_run.add_argument("--replication", type=int, default=None)
-    p_run.add_argument("--c-r", dest="c_r", type=float, default=None,
-                       help="replication: cluster-size constant used when --replication is omitted")
-    p_run.add_argument("--sigma", type=int, default=None)
-    p_run.add_argument("--strategy", type=str, default=None,
-                       help="bn: band-placement strategy (auto | straight | paper)")
+    _add_construction_args(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_info = sub.add_parser("info", help="show derived parameters")
@@ -277,13 +352,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figures", help="regenerate paper Figures 1 and 2")
     p_fig.set_defaults(fn=_cmd_figures)
 
-    p_life = sub.add_parser("lifetime", help="random faults survived before first failure")
-    p_life.add_argument("--d", type=int, default=2)
-    p_life.add_argument("--b", type=int, default=3)
-    p_life.add_argument("--s", type=int, default=1)
-    p_life.add_argument("--t", type=int, default=2)
+    p_life = sub.add_parser(
+        "lifetime",
+        help="fault-arrival timelines driven to first recovery failure",
+    )
+    p_life.add_argument("--construction", choices=sorted(_RUN_PARAMS), default="bn",
+                        help="construction registry key (default: bn)")
+    p_life.add_argument("--timeline", choices=["uniform", "bernoulli", "burst",
+                                               "adversarial"], default="uniform")
+    p_life.add_argument("--rate", type=float, default=0.0,
+                        help="bernoulli: per-step per-node fault probability")
+    p_life.add_argument("--burst", type=int, default=0,
+                        help="burst: co-located faults per step")
+    p_life.add_argument("--pattern", type=str, default="",
+                        help="adversarial: campaign pattern")
+    p_life.add_argument("--k", type=int, default=None,
+                        help="adversarial: planned campaign size (default: all nodes)")
+    p_life.add_argument("--repair-rate", dest="repair_rate", type=float, default=0.0,
+                        help="probability each faulty node is fixed per step")
+    p_life.add_argument("--max-steps", dest="max_steps", type=int, default=None,
+                        help="timeline step bound (required for bernoulli/burst)")
     p_life.add_argument("--trials", type=int, default=5)
     p_life.add_argument("--seed", type=int, default=0)
+    p_life.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = serial; same results either way)")
+    p_life.add_argument("--batch", action=argparse.BooleanOptionalAction, default=None,
+                        help="use the batched lifetime kernel where supported "
+                             "(default: auto; results are byte-identical either way)")
+    p_life.add_argument("--out", type=str, default="", help="write results JSON here")
+    p_life.add_argument("--name", type=str, default="", help="experiment name")
+    p_life.add_argument("--traffic", type=str, default="",
+                        help="bn: route this traffic pattern on the evolving "
+                             "network at --checkpoints")
+    p_life.add_argument("--messages", type=int, default=200)
+    p_life.add_argument("--checkpoints", type=str, default="",
+                        help="comma-separated arrival counts for traffic snapshots")
+    _add_construction_args(p_life)
     p_life.set_defaults(fn=_cmd_lifetime)
 
     p_route = sub.add_parser("route", help="routing sim on a recovered torus")

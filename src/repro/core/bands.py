@@ -77,6 +77,11 @@ class BandSet:
     def band(self, k: int) -> Band:
         return Band(self.bottoms[k], self.params.b, self.params.m)
 
+    @property
+    def is_straight(self) -> bool:
+        """True when every band is constant across columns (straight)."""
+        return bool((self.bottoms == self.bottoms[:, :1]).all())
+
     def mask(self) -> np.ndarray:
         """Full boolean mask of shape ``params.shape`` (True = masked)."""
         p = self.params
@@ -87,6 +92,26 @@ class BandSet:
         )
         out[rows.ravel(), cols.ravel()] = True
         return out.reshape((p.m,) + (p.n,) * (p.d - 1))
+
+    def covers(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Element-wise band-coverage predicate: is node ``(rows[i],
+        cols[i])`` (flattened column index) masked by *some* band?
+
+        The one implementation of "is this fault masked" — shared by
+        coverage validation and by the online-repair masked check, so the
+        two can never drift apart.
+        """
+        p = self.params
+        rows = np.atleast_1d(np.asarray(rows, dtype=np.int64))
+        cols = np.atleast_1d(np.asarray(cols, dtype=np.int64))
+        return (((rows[None, :] - self.bottoms[:, cols]) % p.m) < p.b).any(axis=0)
+
+    def covers_node(self, coord: "tuple[int, ...]") -> bool:
+        """Coverage of one node given as a full ``params.shape`` coordinate."""
+        col = self.col_codec.ravel(
+            np.asarray([coord[1:]], dtype=np.int64)
+        )[0] if self.params.d > 1 else 0
+        return bool(self.covers(int(coord[0]), int(col))[0])
 
     def unmasked_rows(self, col: int) -> np.ndarray:
         """Sorted unmasked row indices of flattened column ``col``."""
@@ -146,9 +171,7 @@ class BandSet:
         frows, fcols = np.nonzero(flat)
         if len(frows) == 0:
             return
-        covered = np.zeros(len(frows), dtype=bool)
-        for k in range(self.num_bands):
-            covered |= (frows - self.bottoms[k, fcols]) % p.m < p.b
+        covered = self.covers(frows, fcols)
         if not covered.all():
             miss = int((~covered).sum())
             i = int(np.flatnonzero(~covered)[0])

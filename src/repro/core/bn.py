@@ -176,4 +176,4 @@ class BTorus:
 
 
 def _is_straight(bands: BandSet) -> bool:
-    return bool((bands.bottoms == bands.bottoms[:, :1]).all())
+    return bands.is_straight

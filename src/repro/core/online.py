@@ -1,4 +1,4 @@
-"""Online fault arrival and recovery lifetime.
+"""Online fault arrival with incremental repair, and lifetime measurement.
 
 A deployed machine accumulates faults over its lifetime; the introduction's
 quantitative claim is that ``B^d_n`` tolerates ``Theta(N log^{-3d} N)``
@@ -9,14 +9,33 @@ construction [BCH93b] that tolerates Theta(N^{1/3})".
 placement; arriving faults are handled with the cheapest sufficient
 response:
 
-* ``"masked"``     — the new fault already lies under an existing band
-  (no recomputation, O(bands) check);
-* ``"replaced"``   — bands recomputed (auto strategy) and the torus
-  re-extracted;
+* ``"masked"``    — the fault already lies under a band of the current
+  placement (shared predicate :meth:`BandSet.covers`; no recomputation,
+  and the placement object identity is untouched);
+* ``"replaced"``  — the placement is recomputed.  In incremental mode
+  (the default) only the *placement* is recomputed from the maintained
+  dim-0 fault-row profile (cost proportional to ``m``, not ``N``), and
+  the embedding is rebuilt by :func:`extract_torus_straight`, which
+  rewrites only the guest rows whose host row actually changed.  The
+  full BFS + Lemma 7 + embedding-verification pipeline runs only when
+  the straight cover fails and the paper strategy takes over.
+* ``"repaired"``  — a faulty node was fixed (:meth:`remove_fault`).  The
+  incremental-repair contract: repairs never recompute — a placement
+  masking a fault superset stays valid for the subset.
 * failure raises, leaving the previous placement intact.
 
-:func:`fault_lifetime` drives faults one by one until recovery first
-fails, returning the count — the measurable form of the Theta claim.
+``incremental=False`` is the *full-recompute* reference mode: every
+unmasked arrival rebuilds bands and torus through ``BTorus.recover``.
+Both modes run the identical placement chain (the same straight-cover
+greedy on the same fault-row profile, the same paper fallback), so they
+produce the same placements, the same event sequence and the same
+lifetimes — hypothesis-asserted in tests/test_online.py, wall-clock
+quantified in BENCH_lifetime.json.
+
+:func:`fault_lifetime` drives uniformly random arrivals until recovery
+first fails; :func:`run_online_timeline` drives any
+:class:`~repro.api.protocol.LifetimeSpec` timeline and returns the full
+:class:`~repro.api.lifetime.LifetimeOutcome`.
 """
 
 from __future__ import annotations
@@ -25,33 +44,50 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api.lifetime import LifetimeOutcome, drive_timeline
+from repro.api.protocol import LifetimeSpec
 from repro.core.bn import BTorus
-from repro.core.reconstruction import Recovery
+from repro.core.placement import place_straight_rows
+from repro.core.reconstruction import Recovery, extract_torus_straight
 from repro.errors import ReconstructionError
 from repro.util.rng import spawn_rng
 
-__all__ = ["OnlineRecovery", "RepairEvent", "fault_lifetime"]
+__all__ = ["OnlineRecovery", "RepairEvent", "fault_lifetime", "run_online_timeline"]
 
 
 @dataclass
 class RepairEvent:
     fault: tuple
-    action: str  # "masked" | "replaced"
+    action: str  # "masked" | "replaced" | "repaired"
     total_faults: int
+    #: For "replaced": which pipeline recomputed ("incremental" | "full").
+    mode: str = ""
 
 
 @dataclass
 class OnlineRecovery:
-    """Incrementally maintained recovery for a ``BTorus``."""
+    """Incrementally maintained recovery for a ``BTorus``.
+
+    ``incremental`` selects the repair pipeline (see module docstring);
+    ``strategy`` is the band-placement strategy of the full-recompute
+    path (``"paper"`` forces every repair through the full pipeline —
+    paper placements are not straight, so there is nothing incremental
+    to reuse).
+    """
 
     bt: BTorus
+    incremental: bool = True
+    strategy: str = "auto"
     faults: np.ndarray = field(init=False)
     recovery: Recovery | None = field(init=False, default=None)
     log: list[RepairEvent] = field(init=False, default_factory=list)
+    #: Faults per dim-0 row, maintained so placement never rescans the array.
+    _row_faults: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.faults = np.zeros(self.bt.params.shape, dtype=bool)
-        self.recovery = self.bt.recover(self.faults)
+        self._row_faults = np.zeros(self.bt.params.m, dtype=np.int64)
+        self.recovery = self._recompute()
 
     @property
     def num_faults(self) -> int:
@@ -59,11 +95,35 @@ class OnlineRecovery:
 
     def _already_masked(self, coord: tuple) -> bool:
         assert self.recovery is not None
-        p = self.bt.params
-        row = int(coord[0])
-        col = int(np.ravel_multi_index([int(c) for c in coord[1:]], (p.n,) * (p.d - 1))) if p.d > 1 else 0
-        bottoms = self.recovery.bands.bottoms[:, col]
-        return bool((((row - bottoms) % p.m) < p.b).any())
+        return self.recovery.bands.covers_node(coord)
+
+    def _recompute(self) -> Recovery:
+        """One placement + extraction pass over the current fault set.
+
+        The incremental path and the full path run the *same* placement
+        chain — straight-cover greedy on the fault-row profile, then the
+        paper pipeline — and differ only in how much extraction work they
+        redo, which is what makes the two modes outcome-equivalent.
+        """
+        if self.incremental and self.strategy in ("auto", "straight"):
+            try:
+                bands = place_straight_rows(
+                    self.bt.params, np.flatnonzero(self._row_faults)
+                )
+            except ReconstructionError:
+                if self.strategy == "straight":
+                    raise
+                # Paper territory: non-straight bands need the full
+                # extraction + verification pipeline.
+                return self.bt.recover(self.faults, strategy="paper")
+            return extract_torus_straight(self.bt.bn, bands, prev=self.recovery)
+        return self.bt.recover(self.faults, strategy=self.strategy)
+
+    def full_recompute(self) -> Recovery:
+        """Ground-truth recovery of the current fault set via the full
+        pipeline (never cached) — the fallback oracle the incremental
+        path is tested against."""
+        return self.bt.recover(self.faults, strategy=self.strategy)
 
     def add_fault(self, coord: tuple) -> RepairEvent:
         """Register one arriving fault; repair if needed.
@@ -72,36 +132,93 @@ class OnlineRecovery:
         more (state keeps the previous valid placement and the new fault).
         """
         coord = tuple(int(c) for c in coord)
-        self.faults[coord] = True
-        if self._already_masked(coord):
+        was_faulty = bool(self.faults[coord])
+        if not was_faulty:
+            self.faults[coord] = True
+            self._row_faults[coord[0]] += 1
+        if was_faulty or self._already_masked(coord):
             ev = RepairEvent(coord, "masked", self.num_faults)
             self.log.append(ev)
             return ev
-        rec = self.bt.recover(self.faults)  # raises on failure
+        rec = self._recompute()  # raises on failure
         self.recovery = rec
-        ev = RepairEvent(coord, "replaced", self.num_faults)
+        mode = "incremental" if rec.stats.get("fast_straight") else "full"
+        ev = RepairEvent(coord, "replaced", self.num_faults, mode=mode)
+        self.log.append(ev)
+        return ev
+
+    def remove_fault(self, coord: tuple) -> RepairEvent:
+        """A faulty node was repaired.  Never recomputes: the current
+        placement masks a superset of the remaining faults, so it stays
+        valid by monotonicity (the incremental-repair contract)."""
+        coord = tuple(int(c) for c in coord)
+        if self.faults[coord]:
+            self.faults[coord] = False
+            self._row_faults[coord[0]] -= 1
+        ev = RepairEvent(coord, "repaired", self.num_faults)
         self.log.append(ev)
         return ev
 
     def repair_fraction(self) -> float:
         """Fraction of arrivals that needed a recomputation."""
-        if not self.log:
+        arrivals = [e for e in self.log if e.action != "repaired"]
+        if not arrivals:
             return 0.0
-        return sum(e.action == "replaced" for e in self.log) / len(self.log)
+        return sum(e.action == "replaced" for e in arrivals) / len(arrivals)
 
 
-def fault_lifetime(bt: BTorus, seed: int, *, max_faults: int | None = None) -> int:
+def run_online_timeline(
+    online: OnlineRecovery,
+    spec: LifetimeSpec,
+    rng: np.random.Generator,
+    *,
+    observer=None,
+) -> LifetimeOutcome:
+    """Drive a fault timeline through an :class:`OnlineRecovery` until the
+    first unrecoverable arrival (or the timeline runs dry).
+
+    A thin backend over the shared :func:`~repro.api.lifetime.drive_timeline`
+    loop — the step/tally/failure semantics live there, common with the
+    generic full-recompute driver.  ``observer(arrivals_survived, online)``
+    — when given — is called after every survived arrival; the
+    traffic-snapshot machinery (:mod:`repro.sim.lifetime_traffic`) hooks
+    checkpoints through it.
+    """
+    shape = online.bt.params.shape
+
+    def on_fault(node: int) -> str:
+        return online.add_fault(np.unravel_index(node, shape)).action
+
+    def on_repair(node: int) -> None:
+        online.remove_fault(np.unravel_index(node, shape))
+
+    return drive_timeline(
+        spec, shape, rng,
+        on_fault=on_fault,
+        on_repair=on_repair,
+        observer=None if observer is None else (lambda n: observer(n, online)),
+    )
+
+
+def fault_lifetime(
+    bt: BTorus,
+    seed: int,
+    *,
+    max_faults: int | None = None,
+    incremental: bool = True,
+) -> int:
     """Inject uniformly random distinct faults one at a time until recovery
-    first fails; return how many were survived."""
-    online = OnlineRecovery(bt)
+    first fails; return how many were survived.
+
+    The RNG stream (``spawn_rng(seed, "lifetime", n, d)`` feeding one
+    permutation draw) is unchanged from the pre-subsystem implementation,
+    so historical lifetime numbers reproduce exactly.  ``incremental``
+    switches between the incremental and full-recompute repair pipelines
+    (same result either way; see :class:`OnlineRecovery`).
+    """
+    if max_faults == 0:  # LifetimeSpec requires max_steps >= 1
+        return 0
+    online = OnlineRecovery(bt, incremental=incremental)
     rng = spawn_rng(seed, "lifetime", bt.params.n, bt.params.d)
-    order = rng.permutation(bt.params.num_nodes)
-    limit = max_faults if max_faults is not None else len(order)
-    codec_shape = bt.params.shape
-    for count, flat in enumerate(order[:limit], start=1):
-        coord = np.unravel_index(int(flat), codec_shape)
-        try:
-            online.add_fault(coord)
-        except ReconstructionError:
-            return count - 1
-    return limit
+    spec = LifetimeSpec(timeline="uniform", max_steps=max_faults)
+    return run_online_timeline(online, spec, rng).lifetime

@@ -35,7 +35,7 @@ from repro.core.params import BnParams
 from repro.errors import BandPlacementError, ReconstructionError
 from repro.topology.grid import TileGeometry
 
-__all__ = ["place_bands", "place_straight", "place_paper"]
+__all__ = ["place_bands", "place_straight", "place_straight_rows", "place_paper"]
 
 
 def place_bands(
@@ -67,11 +67,31 @@ def place_bands(
 
 def place_straight(params: BnParams, faults: np.ndarray) -> BandSet:
     """Cover all faulty rows with straight bands (greedy, then pad)."""
+    fault_rows = np.flatnonzero(faults.reshape(params.m, -1).any(axis=1))
+    return place_straight_rows(params, fault_rows)
+
+
+def place_straight_rows(params: BnParams, fault_rows: np.ndarray) -> BandSet:
+    """Straight cover from a precomputed faulty-*row* index set.
+
+    The online-repair path maintains the dim-0 fault profile incrementally,
+    so placement never rescans the full fault array.  For straight bands,
+    row-profile coverage is equivalent to full node coverage (a straight
+    band masks a node iff it masks the node's row, identically on every
+    column), which is why validation here checks structure plus the row
+    profile and nothing more.
+    """
     m, b, K = params.m, params.b, params.num_bands
-    fault_rows = np.flatnonzero(faults.reshape(m, -1).any(axis=1))
+    fault_rows = np.asarray(fault_rows, dtype=np.int64)
     bottoms = _cover_rows_cyclic(fault_rows, m, b, K)
     bs = BandSet.straight(params, np.asarray(sorted(bottoms), dtype=np.int64))
-    bs.validate(faults)
+    bs.validate()
+    if len(fault_rows) and not bs.covers(
+        fault_rows, np.zeros(len(fault_rows), dtype=np.int64)
+    ).all():
+        raise BandPlacementError(
+            "straight cover left a faulty row unmasked", category="coverage"
+        )
     return bs
 
 

@@ -28,7 +28,7 @@ from repro.core.params import BnParams
 from repro.errors import ReconstructionError
 from repro.topology.embeddings import verify_torus_embedding
 
-__all__ = ["Recovery", "extract_torus"]
+__all__ = ["Recovery", "extract_torus", "extract_torus_straight"]
 
 
 @dataclass
@@ -140,6 +140,52 @@ def extract_torus(
             verify_torus_embedding((n,) * p.d, phi, node_ok, edge_ok)
         )
     return rec
+
+
+def extract_torus_straight(
+    bn: BnGraph, bands: BandSet, *, prev: Recovery | None = None
+) -> Recovery:
+    """O(N) torus extraction for a *validated straight* band set.
+
+    For straight bands every Lemma 6 transition is the identity (no band
+    moves between adjacent columns), so the whole embedding is determined
+    by column 0's unmasked rows and the BFS / Lemma 7 consistency /
+    embedding-verification passes of :func:`extract_torus` can only
+    re-prove what :meth:`BandSet.validate` already established — the same
+    argument the batched backend rests on (docs/fastpath.md).  ``phi`` is
+    assembled directly with array ops.
+
+    When ``prev`` is an earlier *straight* recovery of the same instance,
+    only guest rows whose host row changed are rewritten (the online
+    path's "re-extract only affected torus rows" contract);
+    ``stats["rows_updated"]`` records how many.
+    """
+    p = bn.params
+    if not bands.is_straight:
+        raise ValueError("extract_torus_straight needs a straight band set")
+    psi = bands.unmasked_rows(0)
+    if psi.shape[0] != p.n:
+        raise ReconstructionError(
+            f"column 0 has {psi.shape[0]} unmasked rows, expected {p.n}",
+            category="band-invalid",
+        )
+    num_cols = bands.col_codec.size
+    cols = np.arange(num_cols, dtype=np.int64)
+    if (
+        prev is not None
+        and prev.bands.is_straight
+        and prev.phi.shape == (p.n * num_cols,)
+    ):
+        old_psi = prev.bands.unmasked_rows(0)
+        changed = np.flatnonzero(old_psi != psi)
+        phi = prev.phi.copy()
+        phi.reshape(p.n, num_cols)[changed] = psi[changed, None] * num_cols + cols
+        rows_updated = int(len(changed))
+    else:
+        phi = (psi[:, None] * num_cols + cols).ravel()
+        rows_updated = int(p.n)
+    stats = {"fast_straight": True, "rows_updated": rows_updated}
+    return Recovery(params=p, bands=bands, phi=phi, stats=stats)
 
 
 def _transition(

@@ -24,11 +24,13 @@ from repro.fastpath.bn_batch import (
     straight_survival_batch,
 )
 from repro.fastpath.health import check_healthiness_batch
+from repro.fastpath.lifetime_batch import run_bn_lifetime_batch
 
 __all__ = [
     "check_healthiness_batch",
     "run_an_batch",
     "run_bn_batch",
+    "run_bn_lifetime_batch",
     "sample_bn_faults_batch",
     "straight_survival_batch",
 ]

@@ -9,6 +9,12 @@ from repro.faults.adversary import (
     ADVERSARY_PATTERNS,
     adversarial_node_faults,
 )
+from repro.faults.timeline import (
+    TIMELINE_KINDS,
+    FaultTimeline,
+    TimelineEvent,
+    make_timeline,
+)
 
 __all__ = [
     "BernoulliNodeFaults",
@@ -16,4 +22,8 @@ __all__ = [
     "paper_node_failure_probability",
     "ADVERSARY_PATTERNS",
     "adversarial_node_faults",
+    "TIMELINE_KINDS",
+    "FaultTimeline",
+    "TimelineEvent",
+    "make_timeline",
 ]

@@ -20,4 +20,15 @@ __all__ = [
     "SimResult",
     "simulate",
     "latency_stats",
+    "lifetime_traffic_snapshots",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: lifetime_traffic pulls in the whole core/online stack, which
+    # plain simulator users (and the sim tests) never need.
+    if name == "lifetime_traffic_snapshots":
+        from repro.sim.lifetime_traffic import lifetime_traffic_snapshots
+
+        return lifetime_traffic_snapshots
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

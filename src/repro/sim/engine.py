@@ -23,9 +23,13 @@ __all__ = ["SimResult", "simulate"]
 class SimResult:
     delivered: int
     total: int
-    latencies: np.ndarray  # per delivered message, in cycles
+    latencies: np.ndarray  # per *delivered* message only — never -1 sentinels
     cycles: int
     max_queue: int
+    #: Messages still in flight when ``max_cycles`` was hit.  Kept separate
+    #: so lifetime traffic checkpoints can report undelivered traffic
+    #: instead of silently averaging sentinel values into latency stats.
+    timed_out: int = 0
 
     @property
     def throughput(self) -> float:
@@ -79,6 +83,9 @@ def simulate(
             nxt_live.extend(q[1:])  # losers retry next cycle
         live = sorted(set(nxt_live))
         cycles += 1
+    # Undelivered messages keep their -1 sentinel in ``latencies``; filter
+    # them out so downstream stats can never average a sentinel, and count
+    # them explicitly.
     lat = latencies[done & (latencies >= 0)]
     return SimResult(
         delivered=int(done.sum()),
@@ -86,4 +93,5 @@ def simulate(
         latencies=np.asarray(lat),
         cycles=cycles,
         max_queue=max_queue,
+        timed_out=int((~done).sum()),
     )

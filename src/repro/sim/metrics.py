@@ -16,6 +16,7 @@ def latency_stats(result: SimResult) -> dict:
         return {
             "delivered": result.delivered,
             "total": result.total,
+            "timed_out": result.timed_out,
             "mean": float("nan"),
             "p50": float("nan"),
             "p99": float("nan"),
@@ -25,6 +26,7 @@ def latency_stats(result: SimResult) -> dict:
     return {
         "delivered": result.delivered,
         "total": result.total,
+        "timed_out": result.timed_out,
         "mean": float(lat.mean()),
         "p50": float(np.percentile(lat, 50)),
         "p99": float(np.percentile(lat, 99)),

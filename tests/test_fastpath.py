@@ -23,7 +23,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import BatchCapable, ExperimentRunner, ExperimentSpec, FaultSpec, get
+from repro.api import (
+    BatchCapable,
+    ExperimentRunner,
+    ExperimentSpec,
+    FaultSpec,
+    LifetimeSpec,
+    get,
+)
 from repro.core.healthiness import check_healthiness, check_healthiness_batch
 from repro.core.params import BnParams
 from repro.fastpath.bn_batch import sample_bn_faults_batch, straight_survival_batch
@@ -100,6 +107,62 @@ def test_bn_strategy_straight_batch_equals_scalar():
     scalar = [bn.trial(spec, s) for s in seeds]
     assert [outcome_tuple(o) for o in batch] == [outcome_tuple(o) for o in scalar]
     assert any(not o.success for o in batch)  # the point: mixed outcomes
+
+
+# ---------------------------------------------------------------------------
+# The batched lifetime kernel (ISSUE 3 acceptance: identical first-failure
+# times, trial for trial)
+# ---------------------------------------------------------------------------
+
+
+def lifetime_tuple(out):
+    return (
+        out.lifetime, out.steps, out.category, out.failed,
+        out.masked, out.replaced, out.repaired,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    params=st.sampled_from(BN_PARAM_SETS),
+    strategy=st.sampled_from(["auto", "straight"]),
+    max_steps=st.sampled_from([None, 5, 60]),
+    seed0=st.integers(min_value=0, max_value=10_000),
+)
+def test_bn_lifetime_batch_equals_scalar(params, strategy, max_steps, seed0):
+    bn = get("bn", **params, strategy=strategy)
+    spec = LifetimeSpec(max_steps=max_steps)
+    assert bn.supports_lifetime_batch(spec)
+    seeds = list(range(seed0, seed0 + 5))
+    batch = bn.run_lifetime_batch(spec, seeds)
+    scalar = [bn.lifetime_trial(spec, s) for s in seeds]
+    assert [lifetime_tuple(o) for o in batch] == [lifetime_tuple(o) for o in scalar]
+
+
+def test_lifetime_runner_batch_json_byte_identical(tmp_path):
+    spec = ExperimentSpec(
+        construction="bn", params={"d": 2, "b": 3, "s": 1, "t": 2},
+        grid=(LifetimeSpec(),), trials=20, name="lifetime-bi",  # 2 chunks
+    )
+    a, b = tmp_path / "batch.json", tmp_path / "scalar.json"
+    ExperimentRunner(batch=True).run(spec).save(a)
+    ExperimentRunner(batch=False).run(spec).save(b)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_lifetime_batch_falls_back_for_unsupported_spec():
+    """Repair timelines have no kernel; the runner must dispatch them to
+    the scalar path with unchanged results."""
+    bn = get("bn", d=2, b=3, s=1, t=2)
+    spec = LifetimeSpec(repair_rate=0.3, max_steps=50)
+    assert not bn.supports_lifetime_batch(spec)
+    scalar = [bn.lifetime_trial(spec, s) for s in range(3)]
+    es = ExperimentSpec(
+        construction="bn", params={"d": 2, "b": 3, "s": 1, "t": 2},
+        grid=(spec,), trials=3, name="fallback",
+    )
+    res = ExperimentRunner(batch=True).run(es)
+    assert res.points[0].result.lifetimes == [o.lifetime for o in scalar]
 
 
 # ---------------------------------------------------------------------------

@@ -108,6 +108,24 @@ class TestEngine:
         assert a.latencies.tolist() == b.latencies.tolist()
         assert (a.cycles, a.max_queue, a.delivered) == (b.cycles, b.max_queue, b.delivered)
 
+    def test_timeout_counts_undelivered_and_filters_sentinels(self):
+        """When max_cycles cuts the run short, undelivered messages are
+        reported via ``timed_out`` and their -1 sentinels never reach
+        ``latencies``."""
+        t = make_traffic((6, 6), "uniform", 40, spawn_rng(3))
+        res = simulate((6, 6), t, max_cycles=2)
+        assert res.timed_out == res.total - res.delivered > 0
+        assert (res.latencies >= 0).all()
+        assert len(res.latencies) == res.delivered
+        stats = latency_stats(res)
+        assert stats["timed_out"] == res.timed_out
+
+    def test_no_timeout_when_all_delivered(self):
+        t = make_traffic((6, 6), "uniform", 30, spawn_rng(8))
+        res = simulate((6, 6), t)
+        assert res.timed_out == 0
+        assert latency_stats(res)["timed_out"] == 0
+
     def test_recovered_torus_routes_identically(self, bn2_small):
         """Dilation-1 embedding: the recovered torus is exactly an n^d torus,
         so hop counts match the pristine torus."""
@@ -119,3 +137,27 @@ class TestEngine:
         t = make_traffic(shape, "transpose", 30, spawn_rng(5))
         res = simulate(shape, t)
         assert res.delivered == res.total
+
+
+class TestLifetimeTraffic:
+    def test_snapshots_on_evolving_network(self, bn2_small):
+        from repro.api.protocol import LifetimeSpec
+        from repro.core.bn import BTorus
+        from repro.sim.lifetime_traffic import lifetime_traffic_snapshots
+
+        report = lifetime_traffic_snapshots(
+            BTorus(bn2_small), LifetimeSpec(), seed=0,
+            checkpoints=[2, 4, 10_000], messages=60,
+        )
+        assert report["lifetime"] > 0
+        # checkpoints beyond the lifetime never fire
+        arrivals = [s["arrivals"] for s in report["snapshots"]]
+        assert arrivals == [c for c in (2, 4) if c <= report["lifetime"]]
+        for snap in report["snapshots"]:
+            # The nontrivial per-checkpoint claim: the aged embedding still
+            # verifies end to end against the host graph and fault set.
+            assert snap["embedding_verified"]
+            assert snap["matches_pristine"]
+            assert snap["stats"]["timed_out"] == 0
+            assert 0 < snap["num_faults"] <= snap["arrivals"]
+
