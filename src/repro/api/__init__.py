@@ -30,6 +30,11 @@ _EXPORTS = {
     "LifetimeOutcome": "repro.api.lifetime",
     "LifetimeResult": "repro.api.lifetime",
     "aggregate_lifetimes": "repro.api.lifetime",
+    "TrafficCapable": "repro.api.protocol",
+    "TrafficSpec": "repro.api.protocol",
+    "TrafficOutcome": "repro.api.traffic",
+    "TrafficResult": "repro.api.traffic",
+    "aggregate_traffic": "repro.api.traffic",
     "available": "repro.api.registry",
     "get": "repro.api.registry",
     "register": "repro.api.registry",

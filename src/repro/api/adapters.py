@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.api.lifetime import LifetimeOutcome, run_timeline
 from repro.api.outcome import TrialOutcome
-from repro.api.protocol import FaultSpec, LifetimeSpec
+from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
 from repro.api.registry import register
 from repro.errors import ReconstructionError
 from repro.faults.adversary import adversarial_node_faults
@@ -84,12 +84,37 @@ class _AdapterBase:
         return run_timeline(spec, self._lifetime_shape(), rng, self._lifetime_recover)
 
 
+class _TorusTrafficMixin:
+    """Traffic capability shared by adapters whose guest is a torus.
+
+    Subclasses provide ``guest_shape``; the trial driver and the batched
+    dispatch live in :mod:`repro.api.traffic` /
+    :mod:`repro.fastpath.traffic_batch`.  The expander-path baseline has a
+    path guest (wraparound routes would be fictitious), so it simply does
+    not mix this in and the runner reports it as traffic-incapable.
+    """
+
+    def traffic_trial(self, spec: TrafficSpec, seed: int):
+        from repro.api.traffic import run_traffic_trial
+
+        return run_traffic_trial(self.guest_shape(), spec, seed)
+
+    def supports_traffic_batch(self, spec: TrafficSpec) -> bool:
+        """The vectorized kernel covers every pattern and injection model."""
+        return True
+
+    def run_traffic_batch(self, spec: TrafficSpec, seeds: list) -> list:
+        from repro.fastpath.traffic_batch import run_traffic_batch
+
+        return run_traffic_batch(self.guest_shape(), spec, seeds)
+
+
 # ---------------------------------------------------------------------------
 # Theorem 2 — B^d_n
 # ---------------------------------------------------------------------------
 
 
-class BnConstruction(_AdapterBase):
+class BnConstruction(_TorusTrafficMixin, _AdapterBase):
     """Theorem 2's ``B^d_n`` under the unified protocol."""
 
     name = "bn"
@@ -167,6 +192,10 @@ class BnConstruction(_AdapterBase):
 
         return run_bn_lifetime_batch(self, spec, seeds)
 
+    def guest_shape(self) -> tuple:
+        """The ``n^d`` torus a successful recovery re-embeds (dilation 1)."""
+        return (self.params.n,) * self.params.d
+
 
 @register("bn")
 def _make_bn(*, d: int = 2, b: int = 3, s: int = 1, t: int = 2,
@@ -183,7 +212,7 @@ def _make_bn(*, d: int = 2, b: int = 3, s: int = 1, t: int = 2,
 # ---------------------------------------------------------------------------
 
 
-class AnConstruction(_AdapterBase):
+class AnConstruction(_TorusTrafficMixin, _AdapterBase):
     """Theorem 1's ``A^d_n`` (supernode cliques over a ``B`` host)."""
 
     name = "an"
@@ -282,6 +311,10 @@ class AnConstruction(_AdapterBase):
 
         return run_an_batch(self, spec, seeds)
 
+    def guest_shape(self) -> tuple:
+        """The ``n^d`` torus (side ``k_sub * n_B``) Theorem 1 reconstructs."""
+        return (self.params.n,) * self.params.base.d
+
 
 @register("an")
 def _make_an(*, d: int = 2, b: int = 3, s: int = 1, t: int = 2,
@@ -302,7 +335,7 @@ def _make_an(*, d: int = 2, b: int = 3, s: int = 1, t: int = 2,
 # ---------------------------------------------------------------------------
 
 
-class DnConstruction(_AdapterBase):
+class DnConstruction(_TorusTrafficMixin, _AdapterBase):
     """Theorem 3/13's worst-case construction ``D^d_{n,k}``."""
 
     name = "dn"
@@ -346,6 +379,10 @@ class DnConstruction(_AdapterBase):
             return TrialOutcome(success=True, category="ok", num_faults=n_faults)
         except ReconstructionError as exc:
             return TrialOutcome(success=False, category=exc.category, num_faults=n_faults)
+
+    def guest_shape(self) -> tuple:
+        """The ``n^d`` torus ``D^d_{n,k}`` guarantees under any ``k`` faults."""
+        return (self.params.n,) * self.params.d
 
 
 @register("dn")
@@ -422,7 +459,7 @@ def _make_alon_chung(*, n: int = 60, blowup: float = 3.0,
 # ---------------------------------------------------------------------------
 
 
-class ReplicationConstruction(_AdapterBase):
+class ReplicationConstruction(_TorusTrafficMixin, _AdapterBase):
     """FKP-style ``O(log n)``-degree cluster replication."""
 
     name = "replication"
@@ -490,6 +527,10 @@ class ReplicationConstruction(_AdapterBase):
     def _lifetime_shape(self) -> tuple:
         return (self.torus.num_clusters, self.torus.r)
 
+    def guest_shape(self) -> tuple:
+        """The ``n^d`` torus each cluster slot emulates."""
+        return (self.torus.n,) * self.torus.d
+
 
 @register("replication")
 def _make_replication(*, n: int = 8, d: int = 2, replication: int | None = None,
@@ -504,7 +545,7 @@ def _make_replication(*, n: int = 8, d: int = 2, replication: int | None = None,
 # ---------------------------------------------------------------------------
 
 
-class SpareRowsConstruction(_AdapterBase):
+class SpareRowsConstruction(_TorusTrafficMixin, _AdapterBase):
     """The naive ``O(k)``-degree spare-rows comparator."""
 
     name = "sparerows"
@@ -550,6 +591,10 @@ class SpareRowsConstruction(_AdapterBase):
 
     def _lifetime_shape(self) -> tuple:
         return (self.torus.m, self.torus.n)
+
+    def guest_shape(self) -> tuple:
+        """The ``n x n`` torus left after discarding faulty rows."""
+        return (self.torus.n, self.torus.n)
 
 
 @register("sparerows")

@@ -36,7 +36,8 @@ from typing import Mapping, Sequence
 
 from repro.analysis.montecarlo import MCResult, MonteCarlo, aggregate_outcomes
 from repro.api.lifetime import LifetimeResult, aggregate_lifetimes
-from repro.api.protocol import FaultSpec, LifetimeSpec
+from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
+from repro.api.traffic import TrafficResult, aggregate_traffic
 
 __all__ = ["ExperimentResult", "ExperimentRunner", "ExperimentSpec", "PointResult"]
 
@@ -48,9 +49,14 @@ RESULT_FORMAT = "repro-experiment-v1"
 DEFAULT_CHUNK_SIZE = 16
 
 
-def _point_from_dict(d: dict) -> "FaultSpec | LifetimeSpec":
-    """Rebuild a grid point; ``timeline`` discriminates lifetime points."""
-    return LifetimeSpec.from_dict(d) if "timeline" in d else FaultSpec.from_dict(d)
+def _point_from_dict(d: dict) -> "FaultSpec | LifetimeSpec | TrafficSpec":
+    """Rebuild a grid point; ``timeline`` discriminates lifetime points and
+    ``injection`` traffic points (neither key exists on the other kinds)."""
+    if "timeline" in d:
+        return LifetimeSpec.from_dict(d)
+    if "injection" in d:
+        return TrafficSpec.from_dict(d)
+    return FaultSpec.from_dict(d)
 
 
 @dataclass(frozen=True)
@@ -58,15 +64,16 @@ class ExperimentSpec:
     """A complete, serialisable description of one experiment.
 
     Grid points may be :class:`FaultSpec`\\ s (one-shot trials aggregated
-    into ``MCResult``) or :class:`LifetimeSpec`\\ s (fault-arrival
-    timelines aggregated into
-    :class:`~repro.api.lifetime.LifetimeResult`); the runner dispatches
-    per point, and both kinds obey the same determinism contract.
+    into ``MCResult``), :class:`LifetimeSpec`\\ s (fault-arrival timelines
+    aggregated into :class:`~repro.api.lifetime.LifetimeResult`) or
+    :class:`TrafficSpec`\\ s (guest-torus workloads aggregated into
+    :class:`~repro.api.traffic.TrafficResult`); the runner dispatches per
+    point, and all kinds obey the same determinism contract.
     """
 
     construction: str
     params: Mapping = field(default_factory=dict)
-    grid: tuple["FaultSpec | LifetimeSpec", ...] = ()
+    grid: tuple["FaultSpec | LifetimeSpec | TrafficSpec", ...] = ()
     trials: int = 10
     seed0: int = 0
     name: str = ""
@@ -93,6 +100,7 @@ class ExperimentSpec:
         patterns: Sequence[str] = (),
         k: int | None = None,
         lifetimes: "Sequence[LifetimeSpec]" = (),
+        traffic: "Sequence[TrafficSpec]" = (),
         trials: int = 10,
         seed0: int = 0,
         name: str = "",
@@ -101,12 +109,14 @@ class ExperimentSpec:
 
         ``patterns`` yields adversarial points (budget ``k``); ``p_values``
         yields Bernoulli points at edge-fault rate ``q``; ``lifetimes``
-        appends timeline points.  Any combination may be given (patterns,
-        then probabilities, then lifetimes).
+        appends timeline points and ``traffic`` workload points.  Any
+        combination may be given (patterns, then probabilities, then
+        lifetimes, then traffic).
         """
         grid: list = [FaultSpec(pattern=pat, k=k) for pat in patterns]
         grid += [FaultSpec(p=float(p), q=q) for p in p_values]
         grid += list(lifetimes)
+        grid += list(traffic)
         return cls(
             construction=construction,
             params=dict(params or {}),
@@ -142,15 +152,20 @@ class ExperimentSpec:
 
 @dataclass
 class PointResult:
-    """Merged outcome of one grid point (fault or lifetime)."""
+    """Merged outcome of one grid point (fault, lifetime or traffic)."""
 
-    fault_spec: "FaultSpec | LifetimeSpec"
-    result: "MCResult | LifetimeResult"
+    fault_spec: "FaultSpec | LifetimeSpec | TrafficSpec"
+    result: "MCResult | LifetimeResult | TrafficResult"
 
     def to_dict(self) -> dict:
         if isinstance(self.fault_spec, LifetimeSpec):
             return {
                 "lifetime_spec": self.fault_spec.to_dict(),
+                "result": self.result.to_dict(),
+            }
+        if isinstance(self.fault_spec, TrafficSpec):
+            return {
+                "traffic_spec": self.fault_spec.to_dict(),
                 "result": self.result.to_dict(),
             }
         return {"fault_spec": self.fault_spec.to_dict(), "result": self.result.to_dict()}
@@ -161,6 +176,11 @@ class PointResult:
             return cls(
                 fault_spec=LifetimeSpec.from_dict(d["lifetime_spec"]),
                 result=LifetimeResult.from_dict(d["result"]),
+            )
+        if "traffic_spec" in d:
+            return cls(
+                fault_spec=TrafficSpec.from_dict(d["traffic_spec"]),
+                result=TrafficResult.from_dict(d["result"]),
             )
         return cls(
             fault_spec=FaultSpec.from_dict(d["fault_spec"]),
@@ -263,6 +283,16 @@ def _run_chunk(task: tuple) -> dict:
             if run_lb is not None and (supports_lb is None or supports_lb(point)):
                 return aggregate_lifetimes(run_lb(point, seeds)).to_dict()
         return aggregate_lifetimes(lifetime_trial(point, s) for s in seeds).to_dict()
+    if isinstance(point, TrafficSpec):
+        traffic_trial = getattr(construction, "traffic_trial", None)
+        if traffic_trial is None:
+            raise TypeError(f"construction {name!r} has no traffic capability")
+        if use_batch:
+            run_tb = getattr(construction, "run_traffic_batch", None)
+            supports_tb = getattr(construction, "supports_traffic_batch", None)
+            if run_tb is not None and (supports_tb is None or supports_tb(point)):
+                return aggregate_traffic(run_tb(point, seeds)).to_dict()
+        return aggregate_traffic(traffic_trial(point, s) for s in seeds).to_dict()
     if use_batch:
         run_batch = getattr(construction, "run_batch", None)
         supports = getattr(construction, "supports_batch", None)
@@ -316,7 +346,12 @@ class ExperimentRunner:
         chunks_per_point = -(-spec.trials // spec.chunk_size)
         points = []
         for i, fs in enumerate(spec.grid):
-            res_cls = LifetimeResult if isinstance(fs, LifetimeSpec) else MCResult
+            if isinstance(fs, LifetimeSpec):
+                res_cls = LifetimeResult
+            elif isinstance(fs, TrafficSpec):
+                res_cls = TrafficResult
+            else:
+                res_cls = MCResult
             parts = [
                 res_cls.from_dict(raw[i * chunks_per_point + j])
                 for j in range(chunks_per_point)

@@ -32,6 +32,14 @@ optional ``supports_lifetime_batch``/``run_lifetime_batch`` pair
 vectorizes whole seed chunks of lifetime trials under the same
 identical-outcome contract as ``run_batch`` (see docs/lifetime.md).
 
+The *traffic capability* (:class:`TrafficCapable`) is the fourth pillar:
+``traffic_trial(spec, seed)`` routes a :class:`TrafficSpec` workload —
+closed-loop batch or open-loop injection — over the torus the
+construction emulates (``guest_shape``) and measures service quality,
+with the optional ``supports_traffic_batch``/``run_traffic_batch`` pair
+dispatching to the vectorized simulator kernel under the usual
+identical-outcome contract (see docs/traffic.md).
+
 The fault *state* passed between ``sample_faults`` and ``recover`` is
 deliberately opaque (``Any``): ``B``/``D`` use boolean node arrays, ``A``
 uses an :class:`~repro.core.an.AnFaultState` with lazy half-edge bits,
@@ -50,7 +58,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api.outcome import TrialOutcome
     from repro.topology.graph import CSRGraph
 
-__all__ = ["BatchCapable", "Construction", "FaultSpec", "LifetimeCapable", "LifetimeSpec"]
+__all__ = [
+    "BatchCapable",
+    "Construction",
+    "FaultSpec",
+    "LifetimeCapable",
+    "LifetimeSpec",
+    "TrafficCapable",
+    "TrafficSpec",
+]
 
 
 @dataclass(frozen=True)
@@ -169,6 +185,96 @@ class LifetimeSpec:
         return cls(**d)
 
 
+#: Traffic patterns accepted by :class:`TrafficSpec` (mirrors
+#: :data:`repro.sim.traffic.TRAFFIC_PATTERNS`; kept literal so this module
+#: stays import-light).
+_TRAFFIC_PATTERNS = ("uniform", "transpose", "neighbor", "hotspot", "bitreverse")
+
+#: Injection processes accepted by :class:`TrafficSpec`: ``batch`` is the
+#: closed loop (all ``messages`` at cycle 0); the open-loop kinds mirror
+#: :data:`repro.sim.workload.INJECTIONS`.
+_INJECTIONS = ("batch", "bernoulli", "periodic")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One point of a traffic (service-measurement) model.
+
+    Where :class:`FaultSpec` asks "does recovery succeed" and
+    :class:`LifetimeSpec` asks "how long until it fails", a
+    ``TrafficSpec`` asks "how well does the guest torus *serve its
+    workload*" — the paper's whole motivation.  ``pattern`` names a
+    workload from :data:`repro.sim.traffic.TRAFFIC_PATTERNS`;
+    ``injection`` selects the model:
+
+    * ``"batch"`` — closed loop: exactly ``messages`` messages injected
+      at cycle 0 and drained (``rate``/``cycles``/``warmup`` unused);
+    * ``"bernoulli"`` / ``"periodic"`` — open loop: every node injects at
+      per-cycle rate ``rate`` over a horizon of ``cycles`` cycles, and
+      statistics are measured over messages injected at or after
+      ``warmup`` (see :mod:`repro.sim.workload`).
+
+    ``max_cycles`` bounds the simulation either way; messages still
+    undelivered then are reported as ``timed_out``, never dropped
+    silently.  A grid point of this type makes the runner measure
+    :class:`~repro.api.traffic.TrafficOutcome`\\ s on the construction's
+    guest torus.
+    """
+
+    pattern: str = "uniform"
+    messages: int = 200
+    injection: str = "batch"
+    rate: float = 0.0
+    cycles: int = 0
+    warmup: int = 0
+    max_cycles: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.pattern not in _TRAFFIC_PATTERNS:
+            raise ValueError(
+                f"unknown pattern {self.pattern!r}; options: {_TRAFFIC_PATTERNS}"
+            )
+        if self.injection not in _INJECTIONS:
+            raise ValueError(
+                f"unknown injection {self.injection!r}; options: {_INJECTIONS}"
+            )
+        if self.injection == "batch":
+            if self.messages < 1:
+                raise ValueError("batch injection needs messages >= 1")
+        else:
+            if not (0.0 < self.rate <= 1.0):
+                raise ValueError(f"open-loop rate={self.rate} out of (0, 1]")
+            if self.cycles < 1:
+                raise ValueError("open-loop injection needs cycles >= 1")
+            if not (0 <= self.warmup < self.cycles):
+                raise ValueError(
+                    f"warmup={self.warmup} must lie in [0, cycles={self.cycles})"
+                )
+        if self.max_cycles < 1:
+            raise ValueError("max_cycles must be >= 1")
+
+    @property
+    def open_loop(self) -> bool:
+        return self.injection != "batch"
+
+    def label(self) -> str:
+        """Compact human/JSON-key label for tables and result files."""
+        parts = [f"traffic/{self.pattern}"]
+        if self.open_loop:
+            parts.append(f"{self.injection} rate={self.rate:g}")
+            parts.append(f"cycles={self.cycles}")
+        else:
+            parts.append(f"m={self.messages}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TrafficSpec":
+        return cls(**d)
+
+
 @runtime_checkable
 class Construction(Protocol):
     """Structural interface shared by all six registered constructions."""
@@ -219,3 +325,25 @@ class LifetimeCapable(Protocol):
     """
 
     def lifetime_trial(self, spec: LifetimeSpec, seed: int): ...
+
+
+@runtime_checkable
+class TrafficCapable(Protocol):
+    """Optional traffic capability of a construction.
+
+    ``guest_shape`` is the torus the construction emulates (what its
+    recovery hands back to the workload); ``traffic_trial`` runs one
+    seeded :class:`TrafficSpec` workload on it and returns a
+    :class:`~repro.api.traffic.TrafficOutcome`.  Constructions may
+    additionally expose ``supports_traffic_batch``/``run_traffic_batch``
+    with the same identical-outcome contract as :class:`BatchCapable`
+    (the batched path swaps the scalar engine for the vectorized kernel
+    of :mod:`repro.fastpath.traffic_batch`; workload generation is
+    shared).  The runner probes with ``getattr`` exactly as for the other
+    capabilities; hosts without a torus guest (the expander path) simply
+    don't expose it.
+    """
+
+    def guest_shape(self) -> tuple: ...
+
+    def traffic_trial(self, spec: TrafficSpec, seed: int): ...

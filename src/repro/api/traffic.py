@@ -1,0 +1,231 @@
+"""Traffic trial outcomes, their aggregate, and the shared trial driver.
+
+A *traffic trial* measures service quality of the guest torus a
+construction emulates: one seeded workload (closed-loop batch or
+open-loop injection schedule, see :class:`~repro.api.protocol.TrafficSpec`)
+is routed through the store-and-forward simulator and summarised.
+:class:`TrafficOutcome` is the per-trial record (the analogue of
+:class:`~repro.api.outcome.TrialOutcome`); :class:`TrafficResult` the
+per-grid-point aggregate (the analogue of
+:class:`~repro.analysis.montecarlo.MCResult`), obeying the same
+determinism contract: per-trial outcomes are kept in seed order, chunk
+merges concatenate in chunk order, and ``to_dict`` is JSON-stable — so
+serial, parallel and batched experiment runs serialise byte-identically.
+
+:func:`run_traffic_trial` is the single driver both execution paths
+share: the scalar path runs it with the reference engine
+(:func:`repro.sim.engine.simulate`), the batched path with the vectorized
+kernel (:func:`repro.fastpath.traffic_batch.simulate_batch`).  Workload
+generation — and with it the RNG stream — is common, and the two engines
+return identical ``SimResult``\\ s, so the outcomes are identical by
+construction, never just statistically equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.api.protocol import TrafficSpec
+from repro.sim.engine import SimResult, simulate
+from repro.sim.traffic import make_traffic
+from repro.sim.workload import make_open_loop, open_loop_stats
+from repro.util.rng import spawn_rng
+
+__all__ = ["TrafficOutcome", "TrafficResult", "aggregate_traffic", "run_traffic_trial"]
+
+
+@dataclass
+class TrafficOutcome:
+    """Result of one seeded traffic workload on a guest torus."""
+
+    #: Messages presented to the network (exactly the spec's count for
+    #: closed-loop runs; open-loop runs count messages inside the
+    #: measurement window).
+    offered: int
+    delivered: int
+    timed_out: int
+    cycles: int
+    max_queue: int
+    throughput: float
+    mean_latency: float
+    p50: float
+    p99: float
+    max_latency: float
+
+    def to_dict(self) -> dict:
+        """JSON-stable per-trial record (floats kept exact, not rounded)."""
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "timed_out": self.timed_out,
+            "cycles": self.cycles,
+            "max_queue": self.max_queue,
+            "throughput": self.throughput,
+            "mean_latency": self.mean_latency,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max_latency": self.max_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TrafficOutcome":
+        return cls(
+            offered=int(d["offered"]),
+            delivered=int(d["delivered"]),
+            timed_out=int(d["timed_out"]),
+            cycles=int(d["cycles"]),
+            max_queue=int(d["max_queue"]),
+            throughput=float(d["throughput"]),
+            mean_latency=float(d["mean_latency"]),
+            p50=float(d["p50"]),
+            p99=float(d["p99"]),
+            max_latency=float(d["max_latency"]),
+        )
+
+
+@dataclass
+class TrafficResult:
+    """Aggregated traffic outcomes of one grid point.
+
+    ``outcomes`` stays in seed order and merges concatenate parts in chunk
+    order — the property that keeps serial, parallel and batched runs of
+    the same spec byte-identical (like
+    :class:`~repro.api.lifetime.LifetimeResult`, summary statistics are
+    recomputed from the per-trial records, never accumulated).
+    """
+
+    trials: int
+    outcomes: list[TrafficOutcome] = field(default_factory=list)
+
+    # -- summary statistics --------------------------------------------------
+
+    @property
+    def delivered_fraction(self) -> float:
+        offered = sum(o.offered for o in self.outcomes)
+        return sum(o.delivered for o in self.outcomes) / offered if offered else 1.0
+
+    @property
+    def mean_throughput(self) -> float:
+        if not self.outcomes:
+            return float("nan")
+        return float(np.mean([o.throughput for o in self.outcomes]))
+
+    @property
+    def mean_latency(self) -> float:
+        lats = [o.mean_latency for o in self.outcomes if not np.isnan(o.mean_latency)]
+        return float(np.mean(lats)) if lats else float("nan")
+
+    @property
+    def worst_p99(self) -> float:
+        p99s = [o.p99 for o in self.outcomes if not np.isnan(o.p99)]
+        return float(np.max(p99s)) if p99s else float("nan")
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.trials} runs: delivered {self.delivered_fraction:.1%}, "
+            f"thpt={self.mean_throughput:.3g}/cyc, "
+            f"lat mean={self.mean_latency:.3g} p99<={self.worst_p99:g}"
+        ]
+        dropped = sum(o.timed_out for o in self.outcomes)
+        if dropped:
+            parts.append(f"timed_out={dropped}")
+        return "; ".join(parts)
+
+    # -- persistence / merging ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-stable representation (see docs/results-format.md)."""
+        return {
+            "kind": "traffic",
+            "trials": self.trials,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TrafficResult":
+        return cls(
+            trials=int(d["trials"]),
+            outcomes=[TrafficOutcome.from_dict(o) for o in d.get("outcomes", [])],
+        )
+
+    @classmethod
+    def merged(cls, parts: Sequence["TrafficResult"]) -> "TrafficResult":
+        """Concatenate disjoint trial batches in the order given."""
+        out = cls(trials=0)
+        for part in parts:
+            out.trials += part.trials
+            out.outcomes.extend(part.outcomes)
+        return out
+
+
+def aggregate_traffic(outcomes: Iterable[TrafficOutcome]) -> TrafficResult:
+    """Fold a stream of traffic outcomes into one :class:`TrafficResult`."""
+    res = TrafficResult(trials=0)
+    for out in outcomes:
+        res.trials += 1
+        res.outcomes.append(out)
+    return res
+
+
+def traffic_rng(spec: TrafficSpec, seed: int) -> np.random.Generator:
+    """The trial's generator, keyed by every workload-shaping spec field."""
+    return spawn_rng(
+        seed, "traffic", spec.pattern, spec.injection,
+        f"{spec.rate:g}", spec.messages, spec.cycles,
+    )
+
+
+def run_traffic_trial(
+    shape: tuple[int, ...],
+    spec: TrafficSpec,
+    seed: int,
+    *,
+    engine: Callable[..., SimResult] | None = None,
+) -> TrafficOutcome:
+    """One seeded traffic workload on the ``shape`` torus.
+
+    ``engine`` selects the execution backend (default: the scalar
+    reference engine); workload generation is identical either way, and
+    conforming engines return identical ``SimResult``\\ s, so the outcome
+    never depends on the backend.
+    """
+    sim = engine if engine is not None else simulate
+    rng = traffic_rng(spec, seed)
+    if spec.open_loop:
+        traffic, inject = make_open_loop(
+            shape, spec.pattern, spec.rate, spec.cycles, rng, injection=spec.injection
+        )
+        result = sim(shape, traffic, inject=inject, max_cycles=spec.max_cycles)
+        stats = open_loop_stats(result, inject, warmup=spec.warmup, horizon=spec.cycles)
+        return TrafficOutcome(
+            offered=stats["offered"],
+            delivered=stats["delivered"],
+            timed_out=stats["timed_out"],
+            cycles=result.cycles,
+            max_queue=result.max_queue,
+            throughput=stats["throughput"],
+            mean_latency=stats["mean"],
+            p50=stats["p50"],
+            p99=stats["p99"],
+            max_latency=float(stats["max"]),
+        )
+    traffic = make_traffic(shape, spec.pattern, spec.messages, rng)
+    result = sim(shape, traffic, max_cycles=spec.max_cycles)
+    from repro.sim.metrics import latency_stats
+
+    stats = latency_stats(result)
+    return TrafficOutcome(
+        offered=result.total,
+        delivered=result.delivered,
+        timed_out=result.timed_out,
+        cycles=result.cycles,
+        max_queue=result.max_queue,
+        throughput=result.throughput,
+        mean_latency=stats["mean"],
+        p50=stats["p50"],
+        p99=stats["p99"],
+        max_latency=float(stats["max"]),
+    )

@@ -4,6 +4,7 @@ Subcommands
 -----------
 ``run``       generic experiment driver over any registered construction
 ``lifetime``  fault-arrival timelines driven to first recovery failure
+``traffic``   guest-torus workload measurements (closed batch or open loop)
 ``info``      print derived parameters of a construction
 ``bn-trial``  fault-injection trials against B^d_n
 ``dn-attack`` adversarial campaign against D^d_{n,k}
@@ -192,16 +193,27 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                 if args.checkpoints
                 else [5, 10, 20]
             )
-            snap = lifetime_traffic_snapshots(
-                BTorus(bp), lspec, args.seed, checkpoints,
-                pattern=args.traffic, messages=args.messages,
-                strategy=params.get("strategy", "auto"),
-            )
+            try:
+                snap = lifetime_traffic_snapshots(
+                    BTorus(bp), lspec, args.seed, checkpoints,
+                    pattern=args.traffic, messages=args.messages,
+                    strategy=params.get("strategy", "auto"),
+                    live_traffic=args.live_traffic,
+                )
+            except (KeyError, ValueError) as exc:
+                # e.g. bitreverse on a non-power-of-two guest
+                print(f"lifetime: {exc}", file=sys.stderr)
+                return 2
             print(
-                f"traffic snapshots ('{args.traffic}', {args.messages} messages), "
+                f"traffic snapshots ('{args.traffic}', {args.messages} messages"
+                f"{', live' if args.live_traffic else ''}), "
                 f"trial seed {args.seed}, lifetime {snap['lifetime']}:"
             )
             for s in snap["snapshots"]:
+                if not s["reached"]:
+                    print(f"  @{s['arrivals']:>4} arrivals: not reached "
+                          "(trial ended earlier)")
+                    continue
                 st = s["stats"]
                 print(
                     f"  @{s['arrivals']:>4} arrivals: faults={s['num_faults']} "
@@ -209,6 +221,61 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                     f"timed_out={st['timed_out']} "
                     f"pristine={'yes' if s['matches_pristine'] else 'NO'}"
                 )
+    if args.out:
+        result.save(args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    from repro.api import ExperimentRunner, ExperimentSpec, TrafficSpec
+    from repro.errors import ParameterError
+
+    params = {
+        key: getattr(args, key)
+        for key in _RUN_PARAMS[args.construction]
+        if getattr(args, key) is not None
+    }
+    grid: list[TrafficSpec] = []
+    try:
+        for pattern in args.pattern.split(","):
+            if args.rate:
+                for rate in args.rate.split(","):
+                    grid.append(
+                        TrafficSpec(
+                            pattern=pattern,
+                            injection=args.injection,
+                            rate=float(rate),
+                            cycles=args.cycles,
+                            warmup=args.warmup,
+                            max_cycles=args.max_cycles,
+                        )
+                    )
+            else:
+                grid.append(
+                    TrafficSpec(
+                        pattern=pattern,
+                        messages=args.messages,
+                        max_cycles=args.max_cycles,
+                    )
+                )
+    except ValueError as exc:
+        print(f"traffic: invalid traffic point: {exc}", file=sys.stderr)
+        return 2
+    spec = ExperimentSpec(
+        construction=args.construction,
+        params=params,
+        grid=tuple(grid),
+        trials=args.trials,
+        seed0=args.seed,
+        name=args.name or f"{args.construction}-traffic",
+    )
+    try:
+        result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
+    except (ParameterError, TypeError, ValueError) as exc:
+        print(f"traffic: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
     if args.out:
         result.save(args.out)
         print(f"results written to {args.out}")
@@ -251,7 +318,12 @@ def _cmd_route(args: argparse.Namespace) -> int:
         print("no recoverable draw in 10 attempts", file=sys.stderr)
         return 1
     shape = rec.guest_shape()
-    traffic = make_traffic(shape, args.pattern, args.messages, rng)
+    try:
+        traffic = make_traffic(shape, args.pattern, args.messages, rng)
+    except (KeyError, ValueError) as exc:
+        # e.g. bitreverse on a non-power-of-two guest, unknown pattern
+        print(f"route: {exc}", file=sys.stderr)
+        return 2
     stats = latency_stats(simulate(shape, traffic))
     print(f"recovered {shape} torus from {int(faults.sum())} faults; "
           f"routing '{args.pattern}':")
@@ -387,8 +459,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_life.add_argument("--messages", type=int, default=200)
     p_life.add_argument("--checkpoints", type=str, default="",
                         help="comma-separated arrival counts for traffic snapshots")
+    p_life.add_argument("--live-traffic", dest="live_traffic", action="store_true",
+                        help="measure the aged machine at each checkpoint: map "
+                             "every route through the current embedding, count "
+                             "messages crossing broken host elements as "
+                             "undeliverable, re-simulate the rest")
     _add_construction_args(p_life)
     p_life.set_defaults(fn=_cmd_lifetime)
+
+    p_traffic = sub.add_parser(
+        "traffic",
+        help="guest-torus workload measurements (closed batch or open loop)",
+    )
+    p_traffic.add_argument("--construction", choices=sorted(_RUN_PARAMS), default="bn",
+                           help="construction registry key (default: bn)")
+    p_traffic.add_argument("--pattern", type=str, default="uniform",
+                           help="comma-separated traffic patterns")
+    p_traffic.add_argument("--messages", type=int, default=200,
+                           help="closed-loop batch size (ignored with --rate)")
+    p_traffic.add_argument("--injection", choices=["bernoulli", "periodic"],
+                           default="bernoulli",
+                           help="open-loop injection process used with --rate")
+    p_traffic.add_argument("--rate", type=str, default="",
+                           help="comma-separated per-node per-cycle injection "
+                                "rates; presence switches to the open-loop model")
+    p_traffic.add_argument("--cycles", type=int, default=200,
+                           help="open-loop injection horizon")
+    p_traffic.add_argument("--warmup", type=int, default=0,
+                           help="open-loop: measure messages injected at/after "
+                                "this cycle")
+    p_traffic.add_argument("--max-cycles", dest="max_cycles", type=int, default=10_000,
+                           help="simulation bound; undelivered messages count "
+                                "as timed_out")
+    p_traffic.add_argument("--trials", type=int, default=5)
+    p_traffic.add_argument("--seed", type=int, default=0)
+    p_traffic.add_argument("--workers", type=int, default=1,
+                           help="process-pool size (1 = serial; same results either way)")
+    p_traffic.add_argument("--batch", action=argparse.BooleanOptionalAction, default=None,
+                           help="use the vectorized simulator kernel "
+                                "(default: auto; results are byte-identical either way)")
+    p_traffic.add_argument("--out", type=str, default="", help="write results JSON here")
+    p_traffic.add_argument("--name", type=str, default="", help="experiment name")
+    _add_construction_args(p_traffic)
+    p_traffic.set_defaults(fn=_cmd_traffic)
 
     p_route = sub.add_parser("route", help="routing sim on a recovered torus")
     p_route.add_argument("--b", type=int, default=3)

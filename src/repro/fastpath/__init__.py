@@ -25,12 +25,16 @@ from repro.fastpath.bn_batch import (
 )
 from repro.fastpath.health import check_healthiness_batch
 from repro.fastpath.lifetime_batch import run_bn_lifetime_batch
+from repro.fastpath.traffic_batch import routes_batch, run_traffic_batch, simulate_batch
 
 __all__ = [
     "check_healthiness_batch",
+    "routes_batch",
     "run_an_batch",
     "run_bn_batch",
     "run_bn_lifetime_batch",
+    "run_traffic_batch",
     "sample_bn_faults_batch",
+    "simulate_batch",
     "straight_survival_batch",
 ]

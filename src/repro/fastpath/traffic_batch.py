@@ -1,0 +1,173 @@
+"""Vectorized lockstep store-and-forward kernel (the traffic fast path).
+
+The scalar engine (:func:`repro.sim.engine.simulate`) walks a Python dict
+of per-link queues message by message, every cycle — the last per-item
+pure-Python hot loop in the repo.  This kernel advances *all* live
+messages of one simulation in lockstep:
+
+* routes are precomputed as padded ``(M, L)`` arrays of directed-link ids
+  (``u * size + v``) by a vectorized dimension-ordered route builder that
+  loops over axes and hop offsets, never over messages;
+* per-cycle link arbitration is one stable sort over the live messages'
+  wanted link ids — live message ids are ascending, so the first entry of
+  every equal-link run *is* the scalar engine's lowest-id winner — plus a
+  run-length reduction for queue depths;
+* winners advance, finishers record ``cycle + 1 - inject`` latencies, and
+  the loop repeats until everything is delivered or ``max_cycles`` hits.
+
+The decision sequence is the scalar engine's, replayed with array
+reductions, so :func:`simulate_batch` returns a
+:class:`~repro.sim.engine.SimResult` identical **field for field** —
+delivered order, latency arrays, ``cycles``, ``max_queue``, ``timed_out``
+— for any traffic array and injection schedule (hypothesis-tested in
+tests/test_traffic.py; the measured wall-clock win at the e14 size is
+recorded in BENCH_traffic.json and gated in CI).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.engine import SimResult
+from repro.topology.coords import CoordCodec
+
+__all__ = [
+    "routes_batch",
+    "run_traffic_batch",
+    "sim_results_identical",
+    "simulate_batch",
+]
+
+
+def sim_results_identical(a: SimResult, b: SimResult) -> bool:
+    """Field-for-field equality of two :class:`SimResult`\\ s.
+
+    The single definition of the batch contract's "identical", shared by
+    the benchmarks and the CI perf gate: it iterates the dataclass fields,
+    so a field added to ``SimResult`` later is compared automatically
+    instead of being silently skipped by a hand-maintained list.
+    """
+    for f in dataclasses.fields(SimResult):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            if not np.array_equal(np.asarray(va), np.asarray(vb)):
+                return False
+        elif va != vb:
+            return False
+    return True
+
+
+def routes_batch(
+    shape: tuple[int, ...], traffic: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Padded node sequences of every message's dimension-ordered route.
+
+    Returns ``(nodes, lengths)``: ``nodes[i, :lengths[i] + 1]`` is exactly
+    ``dimension_ordered_route(shape, *traffic[i])`` and the padding beyond
+    it is ``-1``.  Work is ``O(d * max_side)`` numpy passes — no per-message
+    Python.
+    """
+    codec = CoordCodec(shape)
+    traffic = np.asarray(traffic, dtype=np.int64).reshape(-1, 2)
+    m = len(traffic)
+    src, dst = traffic[:, 0], traffic[:, 1]
+    sc = codec.unravel(src)
+    dc = codec.unravel(dst)
+    d = codec.ndim
+    dirs = np.empty((m, d), dtype=np.int64)
+    counts = np.empty((m, d), dtype=np.int64)
+    for a, n in enumerate(shape):
+        fwd = (dc[:, a] - sc[:, a]) % n
+        bwd = (sc[:, a] - dc[:, a]) % n
+        dirs[:, a] = np.where(fwd <= bwd, 1, -1)  # ties break toward +
+        counts[:, a] = np.minimum(fwd, bwd)
+    lengths = counts.sum(axis=1)
+    lmax = int(lengths.max()) if m else 0
+    nodes = np.full((m, lmax + 1), -1, dtype=np.int64)
+    nodes[:, 0] = src
+    offset = np.zeros(m, dtype=np.int64)
+    base = src.copy()  # flat index with finished axes at dst, the rest at src
+    for a, n in enumerate(shape):
+        stride = int(codec.strides[a])
+        cnt = counts[:, a]
+        for j in range(1, int(cnt.max(initial=0)) + 1):
+            mask = cnt >= j
+            coord = (sc[mask, a] + dirs[mask, a] * j) % n
+            nodes[mask, offset[mask] + j] = base[mask] + (coord - sc[mask, a]) * stride
+        offset += cnt
+        base += (dc[:, a] - sc[:, a]) * stride
+    return nodes, lengths
+
+
+def simulate_batch(
+    shape: tuple[int, ...],
+    traffic: np.ndarray,
+    *,
+    inject: np.ndarray | None = None,
+    max_cycles: int = 10_000,
+) -> SimResult:
+    """Vectorized twin of :func:`repro.sim.engine.simulate`.
+
+    Same signature, same semantics, identical :class:`SimResult` field for
+    field — only the wall clock differs.
+    """
+    nodes, lengths = routes_batch(shape, traffic)
+    m = len(nodes)
+    size = CoordCodec(shape).size
+    if inject is None:
+        start = np.zeros(m, dtype=np.int64)
+    else:
+        start = np.asarray(inject, dtype=np.int64)
+        if start.shape != (m,):
+            raise ValueError(f"inject shape {start.shape} != ({m},)")
+        if m and start.min() < 0:
+            raise ValueError("inject cycles must be >= 0")
+    # Directed-link id per hop: u * size + v (pad rows keep a harmless -1).
+    links = nodes[:, :-1] * size + nodes[:, 1:] if m else np.empty((0, 0), np.int64)
+
+    pos = np.zeros(m, dtype=np.int64)
+    done = lengths == 0  # self-addressed: delivered at injection, latency 0
+    latencies = np.where(done, 0, -1).astype(np.int64)
+    cycles = 0
+    max_queue = 0
+    while not done.all() and cycles < max_cycles:
+        live = np.flatnonzero(~done & (start <= cycles))
+        if len(live):
+            wanted = links[live, pos[live]]
+            order = np.argsort(wanted, kind="stable")  # ties keep ascending id
+            lk = wanted[order]
+            first = np.flatnonzero(np.r_[True, lk[1:] != lk[:-1]])
+            queue_depths = np.diff(np.r_[first, lk.size])
+            max_queue = max(max_queue, int(queue_depths.max()))
+            winners = live[order[first]]
+            pos[winners] += 1
+            finished = winners[pos[winners] == lengths[winners]]
+            done[finished] = True
+            latencies[finished] = cycles + 1 - start[finished]
+        cycles += 1
+    lat = latencies[done & (latencies >= 0)]
+    return SimResult(
+        delivered=int(done.sum()),
+        total=m,
+        latencies=np.asarray(lat),
+        cycles=cycles,
+        max_queue=max_queue,
+        timed_out=int((~done).sum()),
+        message_latencies=latencies,
+    )
+
+
+def run_traffic_batch(shape: tuple[int, ...], spec, seeds: Sequence[int]) -> list:
+    """Batched equivalent of ``[traffic_trial(spec, s) for s in seeds]``.
+
+    Each seed's workload generation is shared with the scalar trial (same
+    rng keying); only the engine differs, and :func:`simulate_batch`
+    returns identical ``SimResult``\\ s, so the outcome sequence — and
+    hence experiment JSON — is identical by construction.
+    """
+    from repro.api.traffic import run_traffic_trial
+
+    return [run_traffic_trial(shape, spec, s, engine=simulate_batch) for s in seeds]

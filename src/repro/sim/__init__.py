@@ -8,15 +8,29 @@ properties exactly (dilation-1 embedding => identical hop counts).
 """
 
 from repro.sim.routing import dimension_ordered_route, route_length
-from repro.sim.traffic import TRAFFIC_PATTERNS, make_traffic
+from repro.sim.traffic import (
+    TRAFFIC_PATTERNS,
+    bitreverse_index,
+    make_traffic,
+    pattern_destinations,
+    transpose_index,
+)
 from repro.sim.engine import SimResult, simulate
 from repro.sim.metrics import latency_stats
+from repro.sim.workload import INJECTIONS, make_open_loop, open_loop_stats, saturation_sweep
 
 __all__ = [
     "dimension_ordered_route",
     "route_length",
     "TRAFFIC_PATTERNS",
+    "INJECTIONS",
+    "bitreverse_index",
     "make_traffic",
+    "make_open_loop",
+    "open_loop_stats",
+    "pattern_destinations",
+    "saturation_sweep",
+    "transpose_index",
     "SimResult",
     "simulate",
     "latency_stats",

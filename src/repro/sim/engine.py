@@ -5,12 +5,26 @@ message per cycle (deterministic lowest-id-first arbitration).  Messages
 follow precomputed dimension-ordered routes.  This is deliberately simple — enough to show
 latency/throughput *shape* and that recovered tori behave identically to
 pristine ones (the embedding has dilation 1).
+
+Injection models
+----------------
+By default every message is injected at cycle 0 (the closed-loop batch the
+benchmarks historically used).  ``simulate(..., inject=times)`` runs the
+same engine open-loop: message ``i`` enters the network at cycle
+``times[i]`` and its latency is measured from that cycle.  Self-addressed
+messages (``src == dst``) never enter the network — they are delivered at
+injection with latency 0 and consume no link bandwidth.
+
+This scalar engine is the reference semantics; the vectorized twin
+(:func:`repro.fastpath.traffic_batch.simulate_batch`) reproduces its
+:class:`SimResult` field-for-field (hypothesis-tested) at a large
+wall-clock win — see docs/traffic.md.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,39 +40,80 @@ class SimResult:
     latencies: np.ndarray  # per *delivered* message only — never -1 sentinels
     cycles: int
     max_queue: int
-    #: Messages still in flight when ``max_cycles`` was hit.  Kept separate
-    #: so lifetime traffic checkpoints can report undelivered traffic
-    #: instead of silently averaging sentinel values into latency stats.
+    #: *Routed* messages still undelivered when ``max_cycles`` was hit
+    #: (including ones whose injection time was never reached).
+    #: Self-addressed messages are always delivered — they complete at
+    #: injection without entering the network, whatever the horizon.  Kept
+    #: separate so lifetime traffic checkpoints can report undelivered
+    #: traffic instead of silently averaging sentinel values into latency
+    #: stats.
     timed_out: int = 0
+    #: Per-message latency in message-id order, ``-1`` for undelivered
+    #: messages.  ``latencies`` is the compressed (sentinel-free) view of
+    #: this array; the open-loop measurement window
+    #: (:func:`repro.sim.workload.open_loop_stats`) needs the alignment
+    #: with the injection schedule that only the full array provides.
+    message_latencies: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
 
     @property
     def throughput(self) -> float:
-        """Messages delivered per cycle."""
-        return self.delivered / self.cycles if self.cycles else 0.0
+        """Messages delivered per cycle.
+
+        A run can deliver messages in zero cycles — every message
+        self-addressed, so the network was never entered.  Those deliveries
+        complete within the injection cycle, so the zero-cycle case counts
+        the run as one cycle (``delivered / 1``) instead of dividing by
+        zero or reporting ``0.0`` for work that *was* delivered.
+        """
+        return self.delivered / self.cycles if self.cycles else float(self.delivered)
 
 
 def simulate(
     shape: tuple[int, ...],
     traffic: np.ndarray,
     *,
+    inject: np.ndarray | None = None,
     max_cycles: int = 10_000,
 ) -> SimResult:
-    """Run all (src, dst) messages to completion (or ``max_cycles``)."""
+    """Run all (src, dst) messages to completion (or ``max_cycles``).
+
+    ``inject`` — optional per-message injection cycles (default: all 0,
+    the closed-loop batch).  A message is eligible to cross its first link
+    during cycle ``inject[i]`` and its latency counts from that cycle.
+    """
     routes = [dimension_ordered_route(shape, int(s), int(d)) for s, d in traffic]
     # message state: position index into its route
     pos = np.zeros(len(routes), dtype=np.int64)
-    start = np.zeros(len(routes), dtype=np.int64)  # injection at cycle 0
+    if inject is None:
+        start = np.zeros(len(routes), dtype=np.int64)  # injection at cycle 0
+    else:
+        start = np.asarray(inject, dtype=np.int64)
+        if start.shape != (len(routes),):
+            raise ValueError(f"inject shape {start.shape} != ({len(routes)},)")
+        if len(start) and start.min() < 0:
+            raise ValueError("inject cycles must be >= 0")
     done = np.zeros(len(routes), dtype=bool)
     latencies = np.full(len(routes), -1, dtype=np.int64)
     # per-directed-link FIFO of message ids wanting to cross it this cycle
     cycles = 0
     max_queue = 0
-    live = [i for i, r in enumerate(routes) if len(r) > 1]
+    live = []
+    pending = []
     for i, r in enumerate(routes):
         if len(r) <= 1:
+            # Self-addressed: delivered at injection, latency 0, no link use.
             done[i] = True
             latencies[i] = 0
-    while live and cycles < max_cycles:
+        elif start[i] == 0:
+            live.append(i)
+        else:
+            pending.append(i)
+    while (live or pending) and cycles < max_cycles:
+        if pending:
+            arrived = [i for i in pending if start[i] <= cycles]
+            if arrived:
+                pending = [i for i in pending if start[i] > cycles]
+                live = sorted(set(live) | set(arrived))
         wants: dict[tuple[int, int], list] = defaultdict(list)
         for i in live:
             r = routes[i]
@@ -94,4 +149,5 @@ def simulate(
         cycles=cycles,
         max_queue=max_queue,
         timed_out=int((~done).sum()),
+        message_latencies=latencies,
     )

@@ -9,19 +9,37 @@ node on a healthy host node, every guest link on a healthy host edge —
 which is the claim that *can* fail if the incremental repair pipeline
 ever produced a stale or fault-crossing embedding.
 
-The traffic numbers themselves are computed once: the embedding has
-dilation 1, so a verified checkpoint serves the guest workload exactly
-like the pristine machine (hop-for-hop, cycle-for-cycle) — rerunning the
-deterministic guest-space simulation per checkpoint would recompute the
-identical result.  Each snapshot therefore reports the shared latency
-stats (including the explicit ``timed_out`` count, so undelivered
-messages are counted rather than averaged in as sentinels) together with
-the per-checkpoint verification verdict.
+Traffic numbers come in two flavours:
+
+* by default they are computed once on the pristine guest torus: the
+  embedding has dilation 1, so a verified checkpoint serves the guest
+  workload exactly like the pristine machine (hop-for-hop,
+  cycle-for-cycle) and rerunning the deterministic guest-space simulation
+  would reproduce the identical result;
+* with ``live_traffic=True`` each checkpoint *measures* the aged
+  machine: every message's e-cube route is mapped through the current
+  embedding ``phi`` and each host node / host edge it would actually use
+  is checked against the live fault set and host adjacency; messages
+  whose mapped path crosses a broken element are ``undeliverable``, and
+  the surviving traffic is re-simulated through the vectorized kernel
+  (guest-space simulation is exact for routes whose mapped elements are
+  healthy — dilation 1).  ``matches_pristine`` then requires zero
+  undeliverable messages *and* measured-stats equality with the pristine
+  run, so a stale or fault-crossing embedding shows up as degraded
+  service, not as an assumed-good number.
+
+Every requested checkpoint appears in the report: checkpoints the trial
+died before reaching are explicit ``{"arrivals": c, "reached": False}``
+entries rather than silent omissions, so a consumer can distinguish "not
+measured" from "forgot to measure".
 """
 
 from __future__ import annotations
 
+import json
 from typing import Sequence
+
+import numpy as np
 
 from repro.api.protocol import LifetimeSpec
 from repro.core.bn import BTorus
@@ -33,7 +51,36 @@ from repro.sim.traffic import make_traffic
 from repro.topology.embeddings import verify_torus_embedding
 from repro.util.rng import spawn_rng
 
-__all__ = ["lifetime_traffic_snapshots"]
+__all__ = ["lifetime_traffic_snapshots", "route_health_mask"]
+
+
+def route_health_mask(
+    guest_shape: tuple,
+    traffic,
+    phi,
+    fault_flat,
+    is_adjacent,
+) -> "np.ndarray":
+    """Per-message deliverability on the aged machine.
+
+    Walks every message's e-cube route through the embedding ``phi``
+    (guest flat index -> host flat index) and checks each host node and
+    each host edge the route would actually use: ``mask[i]`` is True iff
+    no element of message ``i``'s mapped path is faulty or non-adjacent.
+    This is the measurement behind ``live_traffic`` snapshots — a stale or
+    fault-crossing embedding shows up here as undeliverable messages.
+    """
+    from repro.fastpath.traffic_batch import routes_batch
+
+    phi = np.asarray(phi, dtype=np.int64).ravel()
+    nodes, _lengths = routes_batch(guest_shape, traffic)
+    pad = nodes < 0
+    host = phi[np.where(pad, 0, nodes)]
+    node_bad = ~pad & fault_flat[host]
+    u, v = host[:, :-1], host[:, 1:]
+    hop = ~pad[:, 1:]
+    edge_bad = hop & ~(is_adjacent(u, v) & ~fault_flat[u] & ~fault_flat[v])
+    return ~(node_bad.any(axis=1) | edge_bad.any(axis=1))
 
 
 def lifetime_traffic_snapshots(
@@ -46,15 +93,20 @@ def lifetime_traffic_snapshots(
     messages: int = 200,
     max_cycles: int = 10_000,
     strategy: str = "auto",
+    live_traffic: bool = False,
 ) -> dict:
     """Run one lifetime trial, verifying service at each checkpoint.
 
     ``checkpoints`` are arrival counts (snapshots fire when the trial has
-    survived exactly that many arrivals).  Per checkpoint the current
-    embedding is re-verified against the host adjacency and fault set;
-    ``matches_pristine`` is True iff that verification passed — the
-    dilation-1 guarantee then makes the (shared) traffic stats exact for
-    the aged machine.  Returns ``{"lifetime", "pristine", "snapshots"}``.
+    survived exactly that many arrivals).  Per reached checkpoint the
+    current embedding is re-verified against the host adjacency and fault
+    set; with ``live_traffic`` each message's route is additionally walked
+    through the embedding against the live fault set (undeliverable
+    messages counted, the rest re-simulated) and ``matches_pristine``
+    requires zero undeliverable plus measured-stats equality with the
+    pristine run.  Checkpoints beyond the trial's lifetime are reported as
+    ``"reached": False`` entries.  Returns ``{"lifetime", "pristine",
+    "snapshots"}``.
     """
     n, d = bt.params.n, bt.params.d
     guest_shape = (n,) * d
@@ -62,7 +114,7 @@ def lifetime_traffic_snapshots(
         guest_shape, pattern, messages, spawn_rng(seed, "lifetime-traffic", pattern)
     )
     pristine = latency_stats(simulate(guest_shape, traffic, max_cycles=max_cycles))
-    wanted = sorted(set(int(c) for c in checkpoints))
+    wanted = {int(c) for c in checkpoints}
     snapshots: list[dict] = []
 
     def observer(arrivals: int, online: OnlineRecovery) -> None:
@@ -81,16 +133,47 @@ def lifetime_traffic_snapshots(
             verified = True
         except EmbeddingError:
             verified = False
+        if live_traffic:
+            # Measure, don't assume: walk every message's route through the
+            # *current* embedding and check each host node / host edge it
+            # would use against the live fault set.  Messages whose mapped
+            # path crosses a broken element are undeliverable on the aged
+            # machine; the rest are re-simulated (guest-space simulation is
+            # exact for healthy mapped routes — dilation 1).
+            from repro.fastpath.traffic_batch import simulate_batch
+
+            deliverable = route_health_mask(
+                guest_shape, traffic, online.recovery.phi, fault_flat,
+                bt.bn.is_adjacent,
+            )
+            stats = latency_stats(
+                simulate_batch(guest_shape, traffic[deliverable], max_cycles=max_cycles)
+            )
+            stats["undeliverable"] = int((~deliverable).sum())
+            # json round makes NaN == NaN (both sides computed identically).
+            matches = (
+                verified
+                and stats["undeliverable"] == 0
+                and json.dumps(
+                    {k: s for k, s in stats.items() if k != "undeliverable"},
+                    sort_keys=True,
+                )
+                == json.dumps(pristine, sort_keys=True)
+            )
+        else:
+            # Dilation 1: a verified embedding serves the workload exactly
+            # like the pristine torus, so the shared stats are exact.
+            stats = pristine
+            matches = verified
         snapshots.append(
             {
                 "arrivals": arrivals,
+                "reached": True,
                 "num_faults": online.num_faults,
                 "repair_fraction": online.repair_fraction(),
                 "embedding_verified": verified,
-                # Dilation 1: a verified embedding serves the workload
-                # exactly like the pristine torus.
-                "stats": pristine,
-                "matches_pristine": verified,
+                "stats": stats,
+                "matches_pristine": matches,
             }
         )
 
@@ -99,6 +182,12 @@ def lifetime_traffic_snapshots(
     online = OnlineRecovery(bt, strategy=strategy)
     rng = spawn_rng(seed, "lifetime", n, d)
     outcome = run_online_timeline(online, spec, rng, observer=observer)
+    reached = {s["arrivals"] for s in snapshots}
+    for c in sorted(wanted - reached):
+        # The trial died (or the timeline ran dry) before this checkpoint:
+        # say so explicitly instead of omitting the entry.
+        snapshots.append({"arrivals": c, "reached": False})
+    snapshots.sort(key=lambda s: s["arrivals"])
     return {
         "lifetime": outcome.lifetime,
         "pristine": pristine,

@@ -111,6 +111,54 @@ class TestFaultSpec:
         assert FaultSpec(pattern="diagonal", k=8).label() == "diagonal/k=8"
 
 
+class TestTrafficSpec:
+    def test_validation(self):
+        from repro.api import TrafficSpec
+
+        with pytest.raises(ValueError, match="pattern"):
+            TrafficSpec(pattern="nope")
+        with pytest.raises(ValueError, match="injection"):
+            TrafficSpec(injection="nope")
+        with pytest.raises(ValueError, match="messages"):
+            TrafficSpec(messages=0)
+        with pytest.raises(ValueError, match="rate"):
+            TrafficSpec(injection="bernoulli", rate=0.0, cycles=10)
+        with pytest.raises(ValueError, match="cycles"):
+            TrafficSpec(injection="bernoulli", rate=0.1, cycles=0)
+        with pytest.raises(ValueError, match="warmup"):
+            TrafficSpec(injection="bernoulli", rate=0.1, cycles=10, warmup=10)
+
+    def test_roundtrip_and_labels(self):
+        from repro.api import TrafficSpec
+
+        closed = TrafficSpec(pattern="transpose", messages=128)
+        assert TrafficSpec.from_dict(closed.to_dict()) == closed
+        assert closed.label() == "traffic/transpose m=128"
+        assert not closed.open_loop
+        open_ = TrafficSpec(
+            pattern="uniform", injection="periodic", rate=0.05, cycles=200, warmup=50
+        )
+        assert TrafficSpec.from_dict(open_.to_dict()) == open_
+        assert open_.label() == "traffic/uniform periodic rate=0.05 cycles=200"
+        assert open_.open_loop
+
+    def test_grid_point_discrimination(self):
+        """A persisted grid rebuilds each point as its own spec type."""
+        from repro.api import LifetimeSpec, TrafficSpec
+
+        spec = ExperimentSpec.from_grid(
+            "bn", {"b": 3}, p_values=[0.001],
+            lifetimes=[LifetimeSpec()],
+            traffic=[TrafficSpec(messages=16)],
+            trials=2,
+        )
+        again = ExperimentSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert [type(pt).__name__ for pt in again.grid] == [
+            "FaultSpec", "LifetimeSpec", "TrafficSpec",
+        ]
+
+
 class TestExperimentSpec:
     def test_roundtrip(self):
         spec = ExperimentSpec.from_grid(
@@ -201,6 +249,73 @@ class TestExperimentRunner:
         a = ExperimentRunner().run(small).points[0].result
         b = ExperimentRunner().run(base).points[0].result
         assert (a.trials, a.successes, a.categories) == (b.trials, b.successes, b.categories)
+
+
+class TestTrafficRunner:
+    """TrafficSpec grid points through the runner (the fourth pillar)."""
+
+    def _spec(self):
+        from repro.api import TrafficSpec
+
+        return ExperimentSpec.from_grid(
+            "bn", {"b": 3},
+            traffic=[
+                TrafficSpec(pattern="uniform", messages=60),
+                TrafficSpec(pattern="hotspot", injection="bernoulli", rate=0.02,
+                            cycles=50, warmup=10),
+            ],
+            trials=20, name="traffic-runner-test",
+        )
+
+    def test_serial_parallel_batch_byte_identical(self):
+        spec = self._spec()
+        dumps = [
+            json.dumps(ExperimentRunner(workers=w, batch=b).run(spec).to_dict(),
+                       sort_keys=True)
+            for w, b in ((1, False), (2, False), (1, True))
+        ]
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    def test_matches_direct_trials(self):
+        spec = self._spec()
+        result = ExperimentRunner().run(spec)
+        c = get("bn", b=3)
+        for pt in result.points:
+            direct = [c.traffic_trial(pt.fault_spec, seed) for seed in range(20)]
+            assert pt.result.outcomes == direct
+
+    def test_save_load_roundtrip(self, tmp_path):
+        result = ExperimentRunner(batch=True).run(self._spec())
+        path = tmp_path / "traffic.json"
+        result.save(path)
+        again = ExperimentResult.load(path)
+        assert [pt.result for pt in again.points] == [pt.result for pt in result.points]
+        path2 = tmp_path / "traffic2.json"
+        again.save(path2)
+        assert path.read_bytes() == path2.read_bytes()
+
+    def test_traffic_incapable_construction_raises(self):
+        from repro.api import TrafficSpec
+
+        spec = ExperimentSpec(
+            construction="alon_chung", grid=(TrafficSpec(messages=4),), trials=1,
+        )
+        with pytest.raises(TypeError, match="traffic capability"):
+            ExperimentRunner().run(spec)
+
+    def test_guest_shapes(self):
+        from repro.api.protocol import TrafficCapable
+
+        expected = {
+            "bn": {"b": 3}, "an": {"b": 3}, "dn": {"n": 30},
+            "replication": {"n": 6}, "sparerows": {"n": 6},
+        }
+        for name, params in expected.items():
+            c = get(name, **params)
+            assert isinstance(c, TrafficCapable)
+            shape = c.guest_shape()
+            assert all(int(s) >= 2 for s in shape)
+        assert not isinstance(get("alon_chung", n=20), TrafficCapable)
 
 
 class TestLegacyCompat:

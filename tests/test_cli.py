@@ -59,6 +59,58 @@ class TestLifetime:
         assert "median=" in out and "theory scale" in out
 
 
+class TestTraffic:
+    def test_closed_loop_runs(self, capsys):
+        assert main(["traffic", "--construction", "bn", "--b", "3",
+                     "--pattern", "uniform,transpose", "--messages", "40",
+                     "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic/uniform m=40" in out and "traffic/transpose m=40" in out
+        assert "delivered" in out
+
+    def test_open_loop_with_output(self, capsys, tmp_path):
+        out_path = tmp_path / "traffic.json"
+        assert main(["traffic", "--construction", "bn", "--b", "3",
+                     "--pattern", "uniform", "--rate", "0.01,0.05",
+                     "--cycles", "40", "--warmup", "10", "--trials", "2",
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "repro-experiment-v1"
+        assert len(payload["points"]) == 2  # one per rate
+        pt = payload["points"][0]
+        assert pt["traffic_spec"]["injection"] == "bernoulli"
+        assert pt["result"]["kind"] == "traffic"
+        assert pt["result"]["trials"] == 2
+
+    def test_invalid_rate_rejected(self, capsys):
+        assert main(["traffic", "--construction", "bn", "--b", "3",
+                     "--rate", "1.5", "--cycles", "10", "--trials", "1"]) == 2
+        assert "invalid traffic point" in capsys.readouterr().err
+
+    def test_incapable_construction_rejected(self, capsys):
+        assert main(["traffic", "--construction", "alon_chung", "--n", "20",
+                     "--trials", "1"]) == 2
+        assert "traffic capability" in capsys.readouterr().err
+
+    def test_route_invalid_pattern_exits_cleanly(self, capsys):
+        # bitreverse on the (36, 36) guest (1296 nodes, not a power of
+        # two): a clean exit-2 diagnostic, not a traceback
+        assert main(["route", "--pattern", "bitreverse", "--messages", "5"]) == 2
+        assert "power-of-two" in capsys.readouterr().err
+        assert main(["lifetime", "--construction", "bn", "--b", "3",
+                     "--trials", "1", "--traffic", "bitreverse",
+                     "--checkpoints", "1"]) == 2
+        assert "power-of-two" in capsys.readouterr().err
+
+    def test_lifetime_snapshot_flags(self, capsys):
+        assert main(["lifetime", "--construction", "bn", "--b", "3",
+                     "--trials", "1", "--traffic", "uniform",
+                     "--checkpoints", "1,99999", "--messages", "30",
+                     "--live-traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "live" in out and "not reached" in out
+
+
 class TestFigures:
     def test_renders_both(self, capsys):
         assert main(["figures"]) == 0

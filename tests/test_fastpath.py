@@ -279,3 +279,36 @@ def test_cli_batch_flag_byte_identical(tmp_path, capsys):
     assert main(args + ["--no-batch", "--out", str(b)]) == 0
     capsys.readouterr()
     assert a.read_bytes() == b.read_bytes()
+
+
+def test_traffic_runner_batch_json_byte_identical(tmp_path):
+    """The fourth batched kernel honours the same contract: a TrafficSpec
+    grid serialises byte-identically whichever engine ran it (the
+    field-level SimResult identity lives in tests/test_traffic.py)."""
+    from repro.api import TrafficSpec
+
+    spec = ExperimentSpec(
+        construction="bn", params={"d": 2, "b": 3, "s": 1, "t": 2},
+        grid=(
+            TrafficSpec(pattern="transpose", messages=48),
+            TrafficSpec(pattern="uniform", injection="bernoulli", rate=0.02,
+                        cycles=40, warmup=10),
+        ),
+        trials=20, name="traffic-bi",  # 2 chunks, so parallel runs fan out
+    )
+    a, b = tmp_path / "batch.json", tmp_path / "scalar.json"
+    ExperimentRunner(batch=True).run(spec).save(a)
+    ExperimentRunner(batch=False, workers=2).run(spec).save(b)
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_cli_traffic_batch_flag_byte_identical(tmp_path, capsys):
+    from repro.cli import main
+
+    a, b = tmp_path / "with.json", tmp_path / "without.json"
+    args = ["traffic", "--construction", "bn", "--b", "3",
+            "--pattern", "uniform", "--messages", "32", "--trials", "4"]
+    assert main(args + ["--batch", "--out", str(a)]) == 0
+    assert main(args + ["--no-batch", "--out", str(b)]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()

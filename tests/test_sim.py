@@ -48,10 +48,12 @@ class TestRouting:
 
 class TestTraffic:
     @pytest.mark.parametrize("pattern", sorted(TRAFFIC_PATTERNS))
-    def test_pairs_in_range(self, pattern):
-        t = make_traffic((6, 6), pattern, 50, spawn_rng(1, pattern))
-        assert t.ndim == 2 and t.shape[1] == 2
-        assert (t >= 0).all() and (t < 36).all()
+    def test_pairs_in_range_and_exact_count(self, pattern):
+        # (8, 8): power-of-two size, so every pattern (incl. bitreverse)
+        # is defined; exactly the requested number of rows comes back.
+        t = make_traffic((8, 8), pattern, 50, spawn_rng(1, pattern))
+        assert t.shape == (50, 2)
+        assert (t >= 0).all() and (t < 64).all()
 
     def test_neighbor_pattern_distance_one(self):
         t = make_traffic((8, 8), "neighbor", 40, spawn_rng(2))
@@ -150,14 +152,71 @@ class TestLifetimeTraffic:
             checkpoints=[2, 4, 10_000], messages=60,
         )
         assert report["lifetime"] > 0
-        # checkpoints beyond the lifetime never fire
+        # every requested checkpoint appears; those beyond the lifetime are
+        # explicit "reached": False entries, never silent omissions
         arrivals = [s["arrivals"] for s in report["snapshots"]]
-        assert arrivals == [c for c in (2, 4) if c <= report["lifetime"]]
+        assert arrivals == [2, 4, 10_000]
+        by_arrival = {s["arrivals"]: s for s in report["snapshots"]}
+        assert not by_arrival[10_000]["reached"]
+        assert "stats" not in by_arrival[10_000]
         for snap in report["snapshots"]:
+            if not snap["reached"]:
+                continue
             # The nontrivial per-checkpoint claim: the aged embedding still
             # verifies end to end against the host graph and fault set.
             assert snap["embedding_verified"]
             assert snap["matches_pristine"]
             assert snap["stats"]["timed_out"] == 0
             assert 0 < snap["num_faults"] <= snap["arrivals"]
+
+    def test_live_traffic_measures_and_matches(self, bn2_small):
+        from repro.api.protocol import LifetimeSpec
+        from repro.core.bn import BTorus
+        from repro.sim.lifetime_traffic import lifetime_traffic_snapshots
+
+        live = lifetime_traffic_snapshots(
+            BTorus(bn2_small), LifetimeSpec(), seed=0,
+            checkpoints=[2], messages=60, live_traffic=True,
+        )
+        assumed = lifetime_traffic_snapshots(
+            BTorus(bn2_small), LifetimeSpec(), seed=0,
+            checkpoints=[2], messages=60,
+        )
+        snap = live["snapshots"][0]
+        assert snap["reached"] and snap["matches_pristine"]
+        # every route's mapped host elements checked out healthy...
+        assert snap["stats"]["undeliverable"] == 0
+        # ...and the re-measured stats equal the assumed (pristine) ones —
+        # the dilation-1 claim, verified empirically instead of asserted
+        measured = {k: v for k, v in snap["stats"].items() if k != "undeliverable"}
+        assert measured == assumed["snapshots"][0]["stats"]
+
+    def test_route_health_mask_detects_broken_embedding(self, bn2_small):
+        """The live-traffic measurement is not vacuous: a fault landing on
+        a host node the embedding still maps through makes exactly the
+        routes over it undeliverable."""
+        import numpy as np
+
+        from repro.core.bn import BTorus
+        from repro.sim.lifetime_traffic import route_health_mask
+
+        bt = BTorus(bn2_small)
+        rec = bt.recover(np.zeros(bn2_small.shape, dtype=bool))
+        shape = rec.guest_shape()
+        traffic = make_traffic(shape, "uniform", 50, spawn_rng(9))
+        fault_flat = np.zeros(bt.bn.codec.size, dtype=bool)
+        healthy = route_health_mask(
+            shape, traffic, rec.phi, fault_flat, bt.bn.is_adjacent
+        )
+        assert healthy.all()  # pristine machine: everything deliverable
+        # Break the host node under one message's source: every message
+        # whose mapped route visits it (at least that one) goes dark.
+        phi = np.asarray(rec.phi, dtype=np.int64).ravel()
+        victim = int(phi[traffic[0, 0]])
+        fault_flat[victim] = True
+        broken = route_health_mask(
+            shape, traffic, rec.phi, fault_flat, bt.bn.is_adjacent
+        )
+        assert not broken[0]
+        assert broken.sum() < len(traffic)
 
