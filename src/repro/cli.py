@@ -2,14 +2,15 @@
 
 Subcommands
 -----------
-``run``       generic experiment driver over any registered construction
-``lifetime``  fault-arrival timelines driven to first recovery failure
-``traffic``   guest-torus workload measurements (closed batch or open loop)
-``info``      print derived parameters of a construction
-``bn-trial``  fault-injection trials against B^d_n
-``dn-attack`` adversarial campaign against D^d_{n,k}
-``figures``   regenerate the paper's Figure 1 / Figure 2 (ASCII)
-``route``     routing simulation on a recovered torus
+``run``          generic experiment driver over any registered construction
+``lifetime``     fault-arrival timelines driven to first recovery failure
+``traffic``      guest-torus workload measurements (closed batch or open loop)
+``conformance``  differential-oracle + golden-artifact gate over all backends
+``info``         print derived parameters of a construction
+``bn-trial``     fault-injection trials against B^d_n
+``dn-attack``    adversarial campaign against D^d_{n,k}
+``figures``      regenerate the paper's Figure 1 / Figure 2 (ASCII)
+``route``        routing simulation on a recovered torus
 
 ``run`` is the registry-powered front end::
 
@@ -282,6 +283,31 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.testkit.conformance import run_conformance
+
+    reports = run_conformance(
+        quick=args.quick,
+        golden_dir=args.golden_dir or None,
+        update_golden=args.update_golden,
+        emit=print,
+    )
+    bad = [r for r in reports if not r.ok]
+    cases = sum(r.cases for r in reports)
+    skipped = sum(1 for r in reports if r.skipped)
+    tier = "quick" if args.quick else "full"
+    print(
+        f"conformance ({tier}): {len(reports)} oracles, {cases} cases, "
+        f"{len(bad)} failed" + (f", {skipped} skipped" if skipped else "")
+    )
+    if bad:
+        print()
+        for report in bad:
+            print(report.describe())
+        return 1
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.viz import figure1, figure2
 
@@ -502,6 +528,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_traffic.add_argument("--name", type=str, default="", help="experiment name")
     _add_construction_args(p_traffic)
     p_traffic.set_defaults(fn=_cmd_traffic)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="differential-oracle + golden-artifact gate over every backend",
+    )
+    p_conf.add_argument("--quick", action="store_true",
+                        help="the CI tier: same oracles, reduced seed/shape matrix")
+    p_conf.add_argument("--update-golden", dest="update_golden", action="store_true",
+                        help="resnapshot the golden artifacts before checking "
+                             "(review the JSON diff like any source change)")
+    p_conf.add_argument("--golden-dir", dest="golden_dir", type=str, default="",
+                        help="golden artifact directory "
+                             "(default: tests/golden of the source checkout)")
+    p_conf.set_defaults(fn=_cmd_conformance)
 
     p_route = sub.add_parser("route", help="routing sim on a recovered torus")
     p_route.add_argument("--b", type=int, default=3)

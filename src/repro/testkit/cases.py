@@ -1,0 +1,102 @@
+"""Deterministic case pools shared by strategies, oracles and the CLI.
+
+Everything here is plain data and plain Python — **no hypothesis** —
+so the conformance CLI (``repro-ft conformance``) and the oracle layer
+can use the canonical pools in environments without the test extra
+installed.  :mod:`repro.testkit.strategies` re-exports all of it next
+to the hypothesis strategies, so tests keep a single import surface.
+"""
+
+from __future__ import annotations
+
+from repro.api.protocol import LifetimeSpec
+
+__all__ = [
+    "ADVERSARY_PATTERN_NAMES",
+    "BN_PARAM_SETS",
+    "NON_POW2_SHAPES",
+    "SMALL_CONSTRUCTIONS",
+    "TRAFFIC_PATTERN_NAMES",
+    "UNIVERSAL_SHAPES",
+    "patterns_for",
+    "timeline_cases",
+]
+
+#: Small-but-real ``B^d_n`` parameter sets spanning d=1, d=2 and both s
+#: values (historically duplicated at the top of tests/test_fastpath.py).
+BN_PARAM_SETS = [
+    dict(d=1, b=3, s=1, t=2),
+    dict(d=2, b=3, s=1, t=2),
+    dict(d=2, b=4, s=1, t=2),
+    dict(d=2, b=5, s=2, t=2),
+]
+
+#: Guest shapes valid for every traffic pattern (power-of-two size,
+#: sides >= 2, non-degenerate transpose).
+UNIVERSAL_SHAPES = [(4, 4), (8, 8), (2, 8), (4, 4, 4), (2, 4, 8)]
+
+#: Valid for everything except bitreverse (non-power-of-two sizes).
+NON_POW2_SHAPES = [(6, 6), (5, 7), (3, 9, 2), (36, 36)]
+
+#: Adversarial campaign names (mirrors repro.faults.adversary, kept
+#: literal so drawing a strategy never imports the adversary module;
+#: tests/test_testkit.py asserts the mirror stays in sync).
+ADVERSARY_PATTERN_NAMES = ("cluster", "cols", "diagonal", "random", "residue", "rows")
+
+#: Traffic pattern names (mirrors repro.sim.traffic.TRAFFIC_PATTERNS;
+#: same sync test).
+TRAFFIC_PATTERN_NAMES = ("bitreverse", "hotspot", "neighbor", "transpose", "uniform")
+
+#: One small parameterisation per registry entry — what a conformance
+#: sweep over "every construction" instantiates.  (alon_chung has no
+#: torus guest: traffic oracles skip it by capability probing, exactly
+#: like the runner does.)
+SMALL_CONSTRUCTIONS = [
+    ("bn", dict(d=2, b=3, s=1, t=2)),
+    ("an", dict(d=2, b=3, s=1, t=2, k_sub=2, h=8)),
+    ("dn", dict(d=2, n=70, b=2)),
+    ("alon_chung", dict(n=20)),
+    ("replication", dict(n=8, d=2, replication=3)),
+    ("sparerows", dict(n=10, sigma=4)),
+]
+
+
+def patterns_for(shape: tuple[int, ...]) -> list[str]:
+    """Traffic patterns valid on ``shape`` (bitreverse needs 2^k >= 4 nodes)."""
+    size = 1
+    for s in shape:
+        size *= int(s)
+    pats = ["uniform", "hotspot", "neighbor", "transpose"]
+    if size >= 4 and size & (size - 1) == 0:
+        pats.append("bitreverse")
+    return pats
+
+
+def timeline_cases(minimum: int = 200) -> list[tuple[int, LifetimeSpec]]:
+    """Seeded timeline points across every kind (>= ``minimum`` cases).
+
+    The incremental-vs-full-recompute contract (ISSUE 3's acceptance
+    bar) is asserted over exactly this list; the repair-mode oracle
+    replays subsets of it.  Deterministic, so failures reproduce by
+    ``(seed, spec.label())``.
+    """
+    cases: list[tuple[int, LifetimeSpec]] = []
+    for seed in range(80):
+        cases.append((seed, LifetimeSpec()))
+    for seed in range(40):
+        cases.append(
+            (1000 + seed, LifetimeSpec(timeline="uniform", repair_rate=0.2, max_steps=80))
+        )
+    for seed in range(30):
+        cases.append(
+            (2000 + seed, LifetimeSpec(timeline="bernoulli", rate=0.002, max_steps=60))
+        )
+    for seed in range(25):
+        cases.append((3000 + seed, LifetimeSpec(timeline="burst", burst=3, max_steps=40)))
+    for pattern in ("random", "cluster", "rows", "diagonal", "residue"):
+        for seed in range(5):
+            cases.append(
+                (4000 + seed, LifetimeSpec(timeline="adversarial", pattern=pattern))
+            )
+    assert len(cases) >= minimum
+    return cases

@@ -1,0 +1,196 @@
+"""The conformance suite behind ``repro-ft conformance`` and the CI job.
+
+One entry point, :func:`run_conformance`, executes the full verification
+stack over a canonical scenario matrix:
+
+1. the golden-artifact gate (:mod:`repro.testkit.golden`) — format and
+   byte-identity drift;
+2. runner-backend oracles — serial vs parallel, scalar vs batched, for
+   fault, lifetime and traffic grids on every capable construction;
+3. per-trial backend oracles — the vectorized kernels against the
+   scalar loops, outcome for outcome;
+4. the repair-mode oracle — incremental vs full-recompute lifetimes;
+5. the independent reference checkers — BFS route validity,
+   embedding-vs-host audit, brute-force healthiness.
+
+``quick=True`` is the CI tier: the same oracles on a reduced seed/shape
+matrix (the historical hand-rolled byte-identity smoke steps, unified).
+``quick=False`` widens seeds, shapes and constructions for local deep
+runs.  Hypothesis is *not* involved — the matrix is deterministic
+(pools from the hypothesis-free :mod:`repro.testkit.cases`), so the CLI
+runs without the test extra installed and a CI failure reproduces
+locally with no shrinking needed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.api.experiment import ExperimentSpec
+from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
+from repro.testkit.oracles import (
+    OracleReport,
+    audit_embedding,
+    check_routes_bfs,
+    healthiness_oracle,
+    repair_mode_oracle,
+    runner_backends_oracle,
+    sim_engines_oracle,
+    trial_backend_oracle,
+)
+
+__all__ = ["run_conformance"]
+
+
+def _runner_specs(quick: bool) -> list[ExperimentSpec]:
+    """Experiment grids spanning all three spec kinds and several
+    constructions; trials exceed one chunk so parallel runs genuinely
+    fan out."""
+    bn = {"d": 2, "b": 3, "s": 1, "t": 2}
+    specs = [
+        ExperimentSpec(
+            construction="bn", params=bn,
+            grid=(FaultSpec(p=1e-3), FaultSpec(p=0.01, q=1e-3)),
+            trials=20, name="conf-bn-faults",
+        ),
+        ExperimentSpec(
+            construction="bn", params=bn,
+            grid=(LifetimeSpec(),), trials=20, name="conf-bn-lifetime",
+        ),
+        ExperimentSpec(
+            construction="bn", params=bn,
+            grid=(
+                TrafficSpec(pattern="transpose", messages=48),
+                TrafficSpec(pattern="uniform", injection="bernoulli", rate=0.02,
+                            cycles=40, warmup=10),
+            ),
+            trials=20, name="conf-bn-traffic",
+        ),
+        ExperimentSpec(
+            construction="dn", params={"d": 2, "n": 70, "b": 2},
+            grid=(FaultSpec(pattern="random", k=8),),
+            trials=18, name="conf-dn-adversarial",
+        ),
+    ]
+    if not quick:
+        specs += [
+            ExperimentSpec(
+                construction="an",
+                params={"d": 2, "b": 3, "s": 1, "t": 2, "k_sub": 2, "h": 8},
+                grid=(FaultSpec(p=0.1),), trials=20, name="conf-an-faults",
+            ),
+            ExperimentSpec(
+                construction="replication", params={"n": 8, "d": 2, "replication": 3},
+                grid=(FaultSpec(p=0.05), TrafficSpec(pattern="uniform", messages=40)),
+                trials=20, name="conf-replication",
+            ),
+            ExperimentSpec(
+                construction="sparerows", params={"n": 10, "sigma": 4},
+                grid=(FaultSpec(pattern="random", k=4), LifetimeSpec(max_steps=30)),
+                trials=20, name="conf-sparerows",
+            ),
+        ]
+    return specs
+
+
+def run_conformance(
+    *,
+    quick: bool = False,
+    golden_dir=None,
+    update_golden: bool = False,
+    emit: Callable[[str], None] | None = None,
+) -> list[OracleReport]:
+    """Run the whole conformance suite; returns every oracle report.
+
+    ``emit`` (when given) receives one progress line per oracle as it
+    completes — the CLI wires it to ``print`` so long runs show
+    incremental output.  Callers decide what to do with failures;
+    ``all(r.ok for r in reports)`` is the gate.
+    """
+    import numpy as np
+
+    from repro.api.registry import get
+    from repro.core.params import BnParams
+    from repro.sim.traffic import make_traffic
+    from repro.testkit.cases import timeline_cases
+    from repro.testkit.golden import GOLDEN_CASES, check_golden, write_golden
+    from repro.util.rng import spawn_rng
+
+    reports: list[OracleReport] = []
+
+    def done(report: OracleReport) -> OracleReport:
+        reports.append(report)
+        if emit is not None:
+            emit(report.summary())
+        return report
+
+    # 1. Golden gate -------------------------------------------------------
+    for case in GOLDEN_CASES:
+        if update_golden:
+            path = write_golden(case, golden_dir)
+            if emit is not None:
+                emit(f"golden:{case.name}: rewritten ({path})")
+        done(check_golden(case, golden_dir))
+
+    # 2. Runner backends ---------------------------------------------------
+    for spec in _runner_specs(quick):
+        report = runner_backends_oracle(spec)
+        report.oracle = f"runner-backends:{spec.name}"
+        done(report)
+
+    # 3. Per-trial kernels against their scalar loops ----------------------
+    n_seeds = 4 if quick else 10
+    bn = get("bn", d=2, b=3, s=1, t=2)
+    an = get("an", d=2, b=3, s=1, t=2, k_sub=2, h=8)
+    trial_matrix = [
+        (bn, FaultSpec(p=1e-3)),
+        (bn, FaultSpec(p=0.02, q=1e-3)),
+        (an, FaultSpec(p=0.1)),
+        (bn, LifetimeSpec()),
+        (bn, TrafficSpec(pattern="uniform", messages=60)),
+        (bn, TrafficSpec(pattern="transpose", injection="periodic", rate=0.05,
+                         cycles=30, warmup=5)),
+    ]
+    if not quick:
+        trial_matrix += [
+            (bn, FaultSpec(p=0.05)),
+            (an, FaultSpec(p=0.3)),
+            (bn, LifetimeSpec(max_steps=25)),
+            (get("sparerows", n=10, sigma=4),
+             TrafficSpec(pattern="hotspot", messages=80)),
+        ]
+    for construction, spec in trial_matrix:
+        report = trial_backend_oracle(construction, spec, range(n_seeds))
+        report.oracle = f"{report.oracle}:{construction.name}:{spec.label()}"
+        done(report)
+
+    # 4. Incremental vs full-recompute repair ------------------------------
+    cases = timeline_cases()
+    if quick:
+        cases = cases[::33]  # every timeline kind still represented
+    done(repair_mode_oracle(BnParams(d=2, b=3, s=1, t=2), cases))
+
+    # 5. Independent reference checkers ------------------------------------
+    shapes = [(6, 6), (4, 4)] if quick else [(6, 6), (4, 4), (2, 8), (5, 7), (2, 4, 8)]
+    for shape in shapes:
+        t = make_traffic(shape, "uniform", 12 if quick else 40,
+                         spawn_rng(7, "conf-bfs", str(shape)))
+        report = check_routes_bfs(shape, t)
+        report.oracle = f"route-bfs:{shape}"
+        done(report)
+        report = sim_engines_oracle(shape, t)
+        report.oracle = f"sim-engines:{shape}"
+        done(report)
+
+    params = BnParams(d=2, b=3, s=1, t=2)
+    rng = spawn_rng(11, "conf-embed")
+    faults = bn.torus.sample_faults(params.paper_fault_probability, rng)
+    recovery = bn.torus.recover(faults)
+    done(audit_embedding(bn.torus, recovery, faults))
+
+    stack_rng = spawn_rng(13, "conf-health")
+    densities = (0.0, 0.002, 0.02) if quick else (0.0, 0.001, 0.01, 0.05, 0.3)
+    stack = np.stack([stack_rng.random(params.shape) < p for p in densities])
+    done(healthiness_oracle(params, stack))
+
+    return reports

@@ -1,0 +1,711 @@
+"""Differential oracles and independent reference checkers.
+
+Two families of verification live here, both returning structured
+reports instead of bare booleans:
+
+**Differential oracles** run one spec through every capable backend and
+diff outcomes field for field:
+
+* :func:`runner_backends_oracle` — serial vs parallel
+  :class:`~repro.api.experiment.ExperimentRunner`, scalar vs batched
+  dispatch, down to the canonical JSON bytes;
+* :func:`trial_backend_oracle` — per-trial loop vs the construction's
+  vectorized kernel (``run_batch`` / ``run_lifetime_batch`` /
+  ``run_traffic_batch``), outcome for outcome;
+* :func:`repair_mode_oracle` — incremental
+  :class:`~repro.core.online.OnlineRecovery` vs the full-recompute
+  reference, including surviving placements and embeddings;
+* :func:`sim_engines_oracle` — the scalar store-and-forward engine vs
+  the vectorized traffic kernel on raw ``SimResult``\\ s.
+
+**Reference checkers** re-derive a property with a slow but obviously
+correct method and diff it against the production implementation:
+
+* :func:`brute_force_healthiness` (+ :func:`healthiness_oracle`) —
+  Lemma 4's three conditions via plain Python loops, diffed against the
+  scalar and batched checkers;
+* :func:`check_routes_bfs` — route validity against BFS distances on
+  the torus adjacency;
+* :func:`audit_embedding` — a claimed torus embedding re-checked edge
+  by edge against the *materialised* host graph and fault set, not the
+  codec predicates the production verifier uses.
+
+Every failure is a :class:`Mismatch` carrying the backend labels, a
+JSON-style field path, and both values — the report a future backend
+author reads to find exactly which field of which trial diverged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.api.protocol import LifetimeSpec, TrafficSpec
+
+__all__ = [
+    "Mismatch",
+    "OracleReport",
+    "audit_embedding",
+    "brute_force_healthiness",
+    "check_routes_bfs",
+    "compare_sim_results",
+    "diff_values",
+    "health_record",
+    "healthiness_oracle",
+    "lifetime_record",
+    "outcome_record",
+    "repair_mode_oracle",
+    "runner_backends_oracle",
+    "sim_engines_oracle",
+    "sim_record",
+    "trial_backend_oracle",
+]
+
+#: Sentinel for "key absent on this side" in dict diffs.
+MISSING = "<missing>"
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One field-level disagreement between two backends or artifacts."""
+
+    oracle: str
+    left: str
+    right: str
+    #: JSON-style path of the diverging field, e.g.
+    #: ``points[0].result.outcomes[3].delivered``.
+    path: str
+    expected: object
+    actual: object
+
+    def describe(self) -> str:
+        return (
+            f"[{self.oracle}] {self.path or '<root>'}: "
+            f"{self.left}={self.expected!r} != {self.right}={self.actual!r}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle run over ``cases`` comparison units."""
+
+    oracle: str
+    compared: tuple[str, ...]
+    cases: int = 0
+    mismatches: list[Mismatch] = field(default_factory=list)
+    #: Why the oracle had nothing to compare (e.g. backend not capable).
+    skipped: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else f"{len(self.mismatches)} MISMATCHES"
+        parts = [f"{self.oracle}: {verdict} ({self.cases} cases; "
+                 f"{' vs '.join(self.compared)})"]
+        if self.skipped:
+            parts.append(f"skipped: {self.skipped}")
+        return " — ".join(parts)
+
+    def describe(self) -> str:
+        lines = [self.summary()]
+        lines += [f"  {m.describe()}" for m in self.mismatches]
+        return "\n".join(lines)
+
+    def raise_on_mismatch(self) -> None:
+        if not self.ok:
+            raise AssertionError(self.describe())
+
+
+def diff_values(
+    a,
+    b,
+    *,
+    oracle: str,
+    left: str,
+    right: str,
+    path: str = "",
+    max_mismatches: int = 64,
+) -> list[Mismatch]:
+    """Recursive structural diff of two JSON-like values.
+
+    Dicts diff by key union, sequences element-wise (a length mismatch
+    is reported once at ``path.length``, then the common prefix is
+    diffed so the *first* diverging field is always named).  ``NaN``
+    equals ``NaN`` — latency fields of empty windows serialise as NaN
+    and must not self-mismatch.  Numpy arrays and scalars compare by
+    value.  At most ``max_mismatches`` are collected per call.
+    """
+    out: list[Mismatch] = []
+    _diff(a, b, oracle, left, right, path, out, max_mismatches)
+    return out
+
+
+def _diff(a, b, oracle, left, right, path, out, limit) -> None:
+    if len(out) >= limit:
+        return
+    if isinstance(a, np.ndarray):
+        a = a.tolist()
+    if isinstance(b, np.ndarray):
+        b = b.tolist()
+    if isinstance(a, np.generic):
+        a = a.item()
+    if isinstance(b, np.generic):
+        b = b.item()
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b), key=str):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                out.append(Mismatch(oracle, left, right, sub, MISSING, b[key]))
+            elif key not in b:
+                out.append(Mismatch(oracle, left, right, sub, a[key], MISSING))
+            else:
+                _diff(a[key], b[key], oracle, left, right, sub, out, limit)
+            if len(out) >= limit:
+                return
+        return
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            out.append(
+                Mismatch(oracle, left, right, f"{path}.length" if path else "length",
+                         len(a), len(b))
+            )
+        for i, (x, y) in enumerate(zip(a, b)):
+            _diff(x, y, oracle, left, right, f"{path}[{i}]", out, limit)
+            if len(out) >= limit:
+                return
+        return
+    if isinstance(a, float) and isinstance(b, float):
+        # NaN latency fields of empty windows must not diff against themselves.
+        if a != b and not (math.isnan(a) and math.isnan(b)):
+            out.append(Mismatch(oracle, left, right, path, a, b))
+        return
+    if type(a) is not type(b) or a != b:
+        out.append(Mismatch(oracle, left, right, path, a, b))
+
+
+# ---------------------------------------------------------------------------
+# Canonical per-record views (shared by tests and oracles)
+# ---------------------------------------------------------------------------
+
+
+def health_record(h) -> dict | None:
+    """Every :class:`~repro.core.healthiness.HealthReport` field, including
+    the bounded violation samples, as plain JSON-able types."""
+    if h is None:
+        return None
+    return {
+        "cond1_ok": h.cond1_ok,
+        "cond2_ok": h.cond2_ok,
+        "cond3_ok": h.cond3_ok,
+        "cond3_faulty_ok": h.cond3_faulty_ok,
+        "num_faults": int(h.num_faults),
+        "max_brick_faults": int(h.max_brick_faults),
+        "cond1_violations": [tuple(int(c) for c in v) for v in h.cond1_violations],
+        "cond2_violations": [
+            (tuple(int(c) for c in corner), int(n)) for corner, n in h.cond2_violations
+        ],
+        "cond3_violations": [tuple(int(c) for c in v) for v in h.cond3_violations],
+    }
+
+
+def outcome_record(o) -> dict:
+    """A :class:`~repro.api.outcome.TrialOutcome` as a comparable record."""
+    return {
+        "success": o.success,
+        "category": o.category,
+        "num_faults": int(o.num_faults),
+        "strategy_used": o.strategy_used,
+        "healthy": o.healthy,
+        "health": health_record(o.health),
+    }
+
+
+def lifetime_record(o) -> dict:
+    """A :class:`~repro.api.lifetime.LifetimeOutcome` as a comparable record."""
+    return {
+        "lifetime": int(o.lifetime),
+        "steps": int(o.steps),
+        "category": o.category,
+        "failed": o.failed,
+        "masked": int(o.masked),
+        "replaced": int(o.replaced),
+        "repaired": int(o.repaired),
+    }
+
+
+def sim_record(r) -> dict:
+    """A :class:`~repro.sim.engine.SimResult` as a comparable record."""
+    return {
+        "delivered": int(r.delivered),
+        "total": int(r.total),
+        "cycles": int(r.cycles),
+        "max_queue": int(r.max_queue),
+        "timed_out": int(r.timed_out),
+        "latencies": [int(x) for x in r.latencies],
+        "message_latencies": [int(x) for x in r.message_latencies],
+        "throughput": float(r.throughput),
+    }
+
+
+def _point_record(spec, outcome) -> dict:
+    if isinstance(spec, LifetimeSpec):
+        return lifetime_record(outcome)
+    if isinstance(spec, TrafficSpec):
+        return outcome.to_dict()
+    return outcome_record(outcome)
+
+
+# ---------------------------------------------------------------------------
+# Differential oracles
+# ---------------------------------------------------------------------------
+
+
+def runner_backends_oracle(spec, *, workers: int = 2) -> OracleReport:
+    """Run an :class:`~repro.api.experiment.ExperimentSpec` through every
+    runner backend and diff the results down to the JSON bytes.
+
+    Backends: serial scalar (the reference), serial batched, parallel
+    scalar, parallel batched.  Batched dispatch quietly falls back
+    per-trial where a construction lacks the capability — the point is
+    that the *choice can never reach the results*, so the fallback path
+    is part of the contract being checked.
+    """
+    from repro.api.experiment import ExperimentRunner
+
+    backends = [
+        ("serial/scalar", ExperimentRunner(workers=1, batch=False)),
+        ("serial/batch", ExperimentRunner(workers=1, batch=True)),
+        (f"parallel{workers}/scalar", ExperimentRunner(workers=workers, batch=False)),
+        (f"parallel{workers}/batch", ExperimentRunner(workers=workers, batch=True)),
+    ]
+    report = OracleReport("runner-backends", tuple(n for n, _ in backends))
+    ref_name, ref_runner = backends[0]
+    ref = ref_runner.run(spec).to_dict()
+    ref_text = json.dumps(ref, indent=2, sort_keys=True)
+    for name, runner in backends[1:]:
+        got = runner.run(spec).to_dict()
+        report.cases += 1
+        ms = diff_values(ref, got, oracle="runner-backends", left=ref_name, right=name)
+        report.mismatches += ms
+        got_text = json.dumps(got, indent=2, sort_keys=True)
+        if not ms and got_text != ref_text:
+            # Fields agree but canonical serialisation drifted — still a
+            # byte-identity break (e.g. int vs float of the same value).
+            # Report the first diverging line, not the whole documents.
+            report.mismatches.append(
+                Mismatch("runner-backends", ref_name, name, "<canonical-json>",
+                         *_first_text_divergence(ref_text, got_text))
+            )
+    return report
+
+
+def _first_text_divergence(a: str, b: str) -> tuple[str, str]:
+    """Human-sized (line number + line) views of where two texts split."""
+    for i, (la, lb) in enumerate(zip(a.splitlines(), b.splitlines())):
+        if la != lb:
+            return (f"line {i + 1}: {la.strip()}", f"line {i + 1}: {lb.strip()}")
+    return (f"{len(a)} chars", f"{len(b)} chars")
+
+
+def trial_backend_oracle(construction, spec, seeds: Sequence[int]) -> OracleReport:
+    """Per-trial loop vs the construction's vectorized kernel, outcome for
+    outcome, for whichever pillar ``spec`` belongs to.
+
+    Returns a report with ``skipped`` set when the construction does not
+    advertise the matching batch capability for this spec — the scalar
+    path is then the only backend and there is nothing to diff.
+    """
+    seeds = list(seeds)
+    if isinstance(spec, LifetimeSpec):
+        kind = "lifetime"
+        supports = getattr(construction, "supports_lifetime_batch", None)
+        run = getattr(construction, "run_lifetime_batch", None)
+        scalar_one = getattr(construction, "lifetime_trial", None)
+    elif isinstance(spec, TrafficSpec):
+        kind = "traffic"
+        supports = getattr(construction, "supports_traffic_batch", None)
+        run = getattr(construction, "run_traffic_batch", None)
+        scalar_one = getattr(construction, "traffic_trial", None)
+    else:
+        kind = "trial"
+        supports = getattr(construction, "supports_batch", None)
+        run = getattr(construction, "run_batch", None)
+        scalar_one = construction.trial
+    name = f"{kind}-backend"
+    report = OracleReport(name, ("scalar", "batch"))
+    if scalar_one is None:
+        report.skipped = f"{construction.name} has no {kind} capability"
+        return report
+    if run is None or (supports is not None and not supports(spec)):
+        report.skipped = (
+            f"{construction.name} advertises no {kind} batch kernel for "
+            f"{spec.label()}"
+        )
+        return report
+    batch = run(spec, seeds)
+    scalar = [scalar_one(spec, s) for s in seeds]
+    if len(batch) != len(scalar):
+        report.mismatches.append(
+            Mismatch(name, "scalar", "batch", "outcomes.length",
+                     len(scalar), len(batch))
+        )
+    for i, (a, b) in enumerate(zip(scalar, batch)):
+        report.cases += 1
+        report.mismatches += diff_values(
+            _point_record(spec, a), _point_record(spec, b),
+            oracle=name, left="scalar", right="batch", path=f"seed[{seeds[i]}]",
+        )
+    return report
+
+
+def repair_mode_oracle(params, cases: Sequence[tuple[int, LifetimeSpec]]) -> OracleReport:
+    """Incremental repair vs the full-recompute reference, per timeline.
+
+    For each ``(seed, spec)`` case both :class:`OnlineRecovery` modes
+    replay the identical event stream; the oracle diffs the outcome
+    record, the final fault set, the surviving band placement and the
+    surviving embedding — the full incremental-repair contract, not just
+    the lifetime number.  The surviving placement is additionally
+    structurally validated (and, when the trial survived, checked to
+    mask every registered fault).
+    """
+    from repro.core.bn import BTorus
+    from repro.core.online import OnlineRecovery, run_online_timeline
+    from repro.errors import ReconstructionError
+    from repro.util.rng import spawn_rng
+
+    bt = BTorus(params)
+    report = OracleReport("repair-modes", ("incremental", "full-recompute"))
+    for seed, spec in cases:
+        inc = OnlineRecovery(bt, incremental=True)
+        full = OnlineRecovery(bt, incremental=False)
+        out_inc = run_online_timeline(inc, spec, spawn_rng(seed, "eq", spec.label()))
+        out_full = run_online_timeline(full, spec, spawn_rng(seed, "eq", spec.label()))
+        report.cases += 1
+        at = f"case[seed={seed},{spec.label()}]"
+        report.mismatches += diff_values(
+            {
+                "outcome": lifetime_record(out_inc),
+                "faults": inc.faults.ravel(),
+                "bottoms": inc.recovery.bands.bottoms,
+                "phi": inc.recovery.phi,
+            },
+            {
+                "outcome": lifetime_record(out_full),
+                "faults": full.faults.ravel(),
+                "bottoms": full.recovery.bands.bottoms,
+                "phi": full.recovery.phi,
+            },
+            oracle="repair-modes", left="incremental", right="full-recompute",
+            path=at, max_mismatches=8,
+        )
+        # Structural validity of the survivor: every band constraint holds
+        # and (unless the trial died on its terminal arrival) every
+        # registered fault is masked.
+        try:
+            inc.recovery.bands.validate(None if out_inc.failed else inc.faults)
+        except ReconstructionError as exc:
+            report.mismatches.append(
+                Mismatch("repair-modes", "incremental", "band-invariants",
+                         f"{at}.validate", str(exc), "structurally valid placement")
+            )
+    return report
+
+
+def compare_sim_results(a, b, *, oracle="sim-engines", left="scalar",
+                        right="batch", path="") -> list[Mismatch]:
+    """Field-level diff of two :class:`~repro.sim.engine.SimResult`\\ s."""
+    return diff_values(
+        sim_record(a), sim_record(b), oracle=oracle, left=left, right=right, path=path
+    )
+
+
+def sim_engines_oracle(
+    shape: tuple[int, ...],
+    traffic: np.ndarray,
+    *,
+    inject: np.ndarray | None = None,
+    max_cycles: int = 10_000,
+) -> OracleReport:
+    """Scalar store-and-forward engine vs the vectorized kernel on one
+    concrete workload, diffed on the raw ``SimResult``."""
+    from repro.fastpath.traffic_batch import simulate_batch
+    from repro.sim.engine import simulate
+
+    report = OracleReport("sim-engines", ("scalar", "batch"), cases=1)
+    a = simulate(shape, traffic, inject=inject, max_cycles=max_cycles)
+    b = simulate_batch(shape, traffic, inject=inject, max_cycles=max_cycles)
+    report.mismatches += compare_sim_results(a, b)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Independent reference checkers
+# ---------------------------------------------------------------------------
+
+
+def _torus_neighbors(shape: tuple[int, ...]):
+    """Adjacency function of the ``shape`` torus, built from first principles
+    (modular coordinate arithmetic, no CoordCodec)."""
+    strides = []
+    acc = 1
+    for s in reversed(shape):
+        strides.append(acc)
+        acc *= int(s)
+    strides = list(reversed(strides))
+
+    def unflatten(idx: int) -> list[int]:
+        coords = []
+        for stride, s in zip(strides, shape):
+            coords.append((idx // stride) % s)
+        return coords
+
+    def neighbors(idx: int) -> list[int]:
+        coords = unflatten(idx)
+        out = []
+        for axis, n in enumerate(shape):
+            if n < 2:
+                continue
+            for delta in (+1, -1):
+                c = list(coords)
+                c[axis] = (c[axis] + delta) % n
+                out.append(sum(ci * st for ci, st in zip(c, strides)))
+        return out
+
+    return neighbors
+
+
+def check_routes_bfs(
+    shape: tuple[int, ...],
+    traffic: np.ndarray,
+    *,
+    router: Callable[[tuple, int, int], np.ndarray] | None = None,
+) -> OracleReport:
+    """Route validity against breadth-first search on the torus.
+
+    For every (src, dst) message the production router (default:
+    :func:`repro.sim.routing.dimension_ordered_route`) must return a
+    path that starts at ``src``, ends at ``dst``, moves only along host
+    torus edges, and is *minimal* — its hop count equal to the BFS
+    distance computed here by plain queue-based search over the
+    adjacency.  ``router`` is injectable so mutation tests can prove
+    the oracle catches broken routers.
+    """
+    from repro.sim.routing import dimension_ordered_route
+
+    route_fn = router or dimension_ordered_route
+    neighbors = _torus_neighbors(shape)
+    size = 1
+    for s in shape:
+        size *= int(s)
+    report = OracleReport("route-bfs", ("router", "bfs"))
+    dist_cache: dict[int, np.ndarray] = {}
+
+    def bfs_from(src: int) -> np.ndarray:
+        if src not in dist_cache:
+            dist = np.full(size, -1, dtype=np.int64)
+            dist[src] = 0
+            q = deque([src])
+            while q:
+                u = q.popleft()
+                for v in neighbors(u):
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        q.append(v)
+            dist_cache[src] = dist
+        return dist_cache[src]
+
+    for i, (src, dst) in enumerate(np.asarray(traffic, dtype=np.int64)):
+        src, dst = int(src), int(dst)
+        report.cases += 1
+        at = f"message[{i}]"
+        route = [int(x) for x in route_fn(shape, src, dst)]
+        if not route or route[0] != src:
+            report.mismatches.append(
+                Mismatch("route-bfs", "router", "bfs", f"{at}.start",
+                         route[0] if route else MISSING, src)
+            )
+            continue
+        if route[-1] != dst:
+            report.mismatches.append(
+                Mismatch("route-bfs", "router", "bfs", f"{at}.end", route[-1], dst)
+            )
+            continue
+        bad_hop = next(
+            (h for h in range(len(route) - 1)
+             if route[h + 1] not in neighbors(route[h])),
+            None,
+        )
+        if bad_hop is not None:
+            report.mismatches.append(
+                Mismatch("route-bfs", "router", "bfs", f"{at}.hop[{bad_hop}]",
+                         f"{route[bad_hop]}->{route[bad_hop + 1]}",
+                         "not a torus edge")
+            )
+            continue
+        want = int(bfs_from(src)[dst])
+        if len(route) - 1 != want:
+            report.mismatches.append(
+                Mismatch("route-bfs", "router", "bfs", f"{at}.hops",
+                         len(route) - 1, want)
+            )
+    return report
+
+
+def audit_embedding(bt, recovery, faults: np.ndarray) -> OracleReport:
+    """Embedding-vs-host-adjacency audit of a claimed ``B^d_n`` recovery.
+
+    Independent of the production verifier
+    (:func:`repro.topology.embeddings.verify_torus_embedding`, which
+    consults codec predicates): this audit materialises the host graph
+    once, builds a plain Python edge set, and re-checks the claimed
+    embedding ``phi`` the obvious way — injectivity, every mapped host
+    node alive, every guest torus edge present as a host edge.
+    """
+    report = OracleReport("embedding-audit", ("claimed-phi", "host-graph"))
+    shape = recovery.guest_shape()
+    phi = np.asarray(recovery.phi, dtype=np.int64).ravel()
+    host_edges = bt.bn.graph().edges()
+    edge_set = {(int(min(u, v)), int(max(u, v))) for u, v in host_edges}
+    faulty = np.asarray(faults, dtype=bool).ravel()
+    size = 1
+    for s in shape:
+        size *= int(s)
+    report.cases = 1
+    if phi.shape[0] != size:
+        report.mismatches.append(
+            Mismatch("embedding-audit", "claimed-phi", "host-graph", "phi.length",
+                     phi.shape[0], size)
+        )
+        return report
+    if np.unique(phi).size != phi.size:
+        report.mismatches.append(
+            Mismatch("embedding-audit", "claimed-phi", "host-graph",
+                     "phi.injective", False, True)
+        )
+    on_faulty = np.flatnonzero(faulty[phi])
+    for g in on_faulty[:8]:
+        report.mismatches.append(
+            Mismatch("embedding-audit", "claimed-phi", "host-graph",
+                     f"phi[{int(g)}]", f"host {int(phi[g])} (faulty)", "alive host")
+        )
+    neighbors = _torus_neighbors(shape)
+    seen: set[tuple[int, int]] = set()
+    for g in range(size):
+        for h in neighbors(g):
+            guest_edge = (min(g, h), max(g, h))
+            if guest_edge in seen:
+                continue
+            seen.add(guest_edge)
+            report.cases += 1
+            hu, hv = int(phi[guest_edge[0]]), int(phi[guest_edge[1]])
+            if (min(hu, hv), max(hu, hv)) not in edge_set:
+                report.mismatches.append(
+                    Mismatch("embedding-audit", "claimed-phi", "host-graph",
+                             f"guest-edge[{guest_edge[0]}-{guest_edge[1]}]",
+                             f"host {hu}-{hv}", "existing host edge")
+                )
+                if len(report.mismatches) >= 16:
+                    return report
+    return report
+
+
+def brute_force_healthiness(params, faults: np.ndarray, *, max_violations: int = 8) -> dict:
+    """Lemma 4's three conditions via plain Python loops.
+
+    Re-derives the per-brick fault-free-row runs (condition 1), fault
+    counts (condition 2) and the fault-free enclosing-frame search
+    (condition 3) with nothing but ``TileGeometry``'s coordinate
+    enumeration and elementwise scans — no sliding windows, no streak
+    reductions, no shared helper with the production checkers.
+    Violations are collected in the same (corner / tile) enumeration
+    order and with the same ``max_violations`` bound, so the record is
+    directly diffable against :func:`health_record` of the production
+    :class:`~repro.core.healthiness.HealthReport`.
+    """
+    from repro.topology.grid import TileGeometry
+
+    geo = TileGeometry(params.shape, params.b)
+    b, s = params.b, params.s
+    rec = {
+        "cond1_ok": True, "cond2_ok": True, "cond3_ok": True,
+        "cond3_faulty_ok": True,
+        "num_faults": int(np.asarray(faults).sum()), "max_brick_faults": 0,
+        "cond1_violations": [], "cond2_violations": [], "cond3_violations": [],
+    }
+    for corner in geo.brick_corners():
+        block = np.asarray(geo.brick_node_block(faults, corner))
+        rows = block.reshape(block.shape[0], -1)
+        # Longest run of fault-free rows, by walking the rows one by one.
+        best = run = 0
+        for r in range(rows.shape[0]):
+            if bool(rows[r].any()):
+                run = 0
+            else:
+                run += 1
+                best = max(best, run)
+        count = int(block.sum())
+        rec["max_brick_faults"] = max(rec["max_brick_faults"], count)
+        if best < 2 * b:
+            rec["cond1_ok"] = False
+            if len(rec["cond1_violations"]) < max_violations:
+                rec["cond1_violations"].append(tuple(int(c) for c in corner))
+        if count > s:
+            rec["cond2_ok"] = False
+            if len(rec["cond2_violations"]) < max_violations:
+                rec["cond2_violations"].append((tuple(int(c) for c in corner), count))
+    tile_faulty = geo.tile_fault_counts(np.asarray(faults)) > 0
+    flat_faulty = tile_faulty.ravel()
+    for tile_flat in range(geo.grid.size):
+        tile = tuple(int(c) for c in geo.grid.unravel(tile_flat))
+        enclosed = False
+        for size in range(3, b + 1):
+            for corner in geo.enclosing_corners(tile, size):
+                frame, _ = geo.frame_and_interior(corner, size)
+                if not any(bool(flat_faulty[t]) for t in frame):
+                    enclosed = True
+                    break
+            if enclosed:
+                break
+        if not enclosed:
+            rec["cond3_ok"] = False
+            if bool(flat_faulty[tile_flat]):
+                rec["cond3_faulty_ok"] = False
+            if len(rec["cond3_violations"]) < max_violations:
+                rec["cond3_violations"].append(tile)
+    return rec
+
+
+def healthiness_oracle(params, fault_stack: np.ndarray) -> OracleReport:
+    """Three-way healthiness diff: brute force vs scalar vs batched.
+
+    ``fault_stack`` has shape ``(trials, *params.shape)``; every slice is
+    checked by the brute-force reference, the production scalar checker
+    and the vectorized batch checker, and all three records must agree
+    field for field (including the bounded violation samples).
+    """
+    from repro.core.healthiness import check_healthiness, check_healthiness_batch
+
+    report = OracleReport("healthiness", ("brute-force", "scalar", "batch"))
+    batch_reports = check_healthiness_batch(params, fault_stack)
+    for i in range(fault_stack.shape[0]):
+        report.cases += 1
+        ref = brute_force_healthiness(params, fault_stack[i])
+        scalar = health_record(check_healthiness(params, fault_stack[i]))
+        batched = health_record(batch_reports[i])
+        report.mismatches += diff_values(
+            ref, scalar, oracle="healthiness", left="brute-force", right="scalar",
+            path=f"trial[{i}]",
+        )
+        report.mismatches += diff_values(
+            scalar, batched, oracle="healthiness", left="scalar", right="batch",
+            path=f"trial[{i}]",
+        )
+    return report

@@ -1,0 +1,176 @@
+"""Reusable hypothesis strategies over the canonical case pools.
+
+One home for every scenario generator the test suite needs: valid
+:class:`~repro.api.protocol.FaultSpec` / :class:`LifetimeSpec` /
+:class:`TrafficSpec` points, guest-torus shapes, small-but-real
+construction parameterisations from the registry, and the seeded
+timeline case list the incremental-repair contract is asserted over.
+``tests/test_fastpath.py``, ``tests/test_traffic.py`` and
+``tests/test_online.py`` historically each carried a private copy of
+these; they now import from here, and any future backend's conformance
+tests start from the same generators.
+
+Every strategy yields *constructed* spec objects, so drawing from one
+exercises the specs' ``__post_init__`` validation — a draw that
+survives is valid by definition.
+
+This module imports ``hypothesis`` (a test-only dependency) at the top
+level; production code must not import it.  The deterministic pools it
+re-exports (``BN_PARAM_SETS``, the shape lists, ``timeline_cases``, …)
+live in the hypothesis-free :mod:`repro.testkit.cases`, which is what
+the oracle/golden/conformance layers — and through them the
+``repro-ft conformance`` CLI — depend on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
+from repro.testkit.cases import (
+    ADVERSARY_PATTERN_NAMES,
+    BN_PARAM_SETS,
+    NON_POW2_SHAPES,
+    SMALL_CONSTRUCTIONS,
+    TRAFFIC_PATTERN_NAMES,
+    UNIVERSAL_SHAPES,
+    patterns_for,
+    timeline_cases,
+)
+
+__all__ = [
+    "ADVERSARY_PATTERN_NAMES",
+    "BN_PARAM_SETS",
+    "NON_POW2_SHAPES",
+    "SMALL_CONSTRUCTIONS",
+    "TRAFFIC_PATTERN_NAMES",
+    "UNIVERSAL_SHAPES",
+    "bn_params",
+    "construction_cases",
+    "fault_specs",
+    "lifetime_specs",
+    "patterns_for",
+    "seeds",
+    "shapes",
+    "timeline_cases",
+    "traffic_specs",
+]
+
+
+def bn_params() -> st.SearchStrategy:
+    """One of the :data:`BN_PARAM_SETS` factory-kwargs dicts."""
+    return st.sampled_from(BN_PARAM_SETS)
+
+
+def shapes(*, include_non_pow2: bool = True) -> st.SearchStrategy:
+    """A guest-torus shape drawn from the canonical shape pools."""
+    pool = UNIVERSAL_SHAPES + (NON_POW2_SHAPES if include_non_pow2 else [])
+    return st.sampled_from(pool)
+
+
+def seeds(max_value: int = 10_000) -> st.SearchStrategy:
+    """A trial seed."""
+    return st.integers(min_value=0, max_value=max_value)
+
+
+def construction_cases() -> st.SearchStrategy:
+    """A ``(registry_key, factory_params)`` pair from :data:`SMALL_CONSTRUCTIONS`."""
+    return st.sampled_from(SMALL_CONSTRUCTIONS)
+
+
+@st.composite
+def fault_specs(
+    draw,
+    *,
+    adversarial: bool | None = None,
+    max_k: int = 12,
+    p_pool: tuple = (0.0, 1e-4, 1e-3, 0.01, 0.05, 0.3),
+    q_pool: tuple = (0.0, 0.001, 0.01),
+) -> FaultSpec:
+    """A valid :class:`FaultSpec` — Bernoulli or adversarial.
+
+    ``adversarial=None`` draws either kind; ``True``/``False`` pins it.
+    Adversarial specs always carry an explicit ``k`` (several
+    constructions require one).
+    """
+    adv = draw(st.booleans()) if adversarial is None else adversarial
+    if adv:
+        pattern = draw(st.sampled_from(ADVERSARY_PATTERN_NAMES))
+        k = draw(st.integers(min_value=0, max_value=max_k))
+        return FaultSpec(pattern=pattern, k=k)
+    p = draw(st.sampled_from(p_pool))
+    q = draw(st.sampled_from(q_pool))
+    return FaultSpec(p=float(p), q=float(q))
+
+
+@st.composite
+def lifetime_specs(
+    draw,
+    *,
+    kinds: tuple = ("uniform", "bernoulli", "burst", "adversarial"),
+    with_repair: bool | None = None,
+) -> LifetimeSpec:
+    """A valid :class:`LifetimeSpec` across every timeline kind.
+
+    Field combinations mirror the spec's own validation: step-driven
+    kinds always carry ``max_steps``, adversarial kinds a pattern.
+    ``with_repair`` pins ``repair_rate`` to zero (``False``) or nonzero
+    (``True``); ``None`` draws either.
+    """
+    kind = draw(st.sampled_from(kinds))
+    repair = draw(st.booleans()) if with_repair is None else with_repair
+    rho = draw(st.sampled_from((0.1, 0.2, 0.5))) if repair else 0.0
+    if kind == "uniform":
+        max_steps = draw(st.sampled_from((None, 40, 80)))
+        if repair and max_steps is None:
+            max_steps = 80  # repair-only streams need a bound to terminate
+        return LifetimeSpec(timeline="uniform", repair_rate=rho, max_steps=max_steps)
+    if kind == "bernoulli":
+        rate = draw(st.sampled_from((0.001, 0.002, 0.01)))
+        max_steps = draw(st.sampled_from((20, 60)))
+        return LifetimeSpec(
+            timeline="bernoulli", rate=rate, repair_rate=rho, max_steps=max_steps
+        )
+    if kind == "burst":
+        burst = draw(st.sampled_from((1, 3)))
+        max_steps = draw(st.sampled_from((20, 40)))
+        return LifetimeSpec(
+            timeline="burst", burst=burst, repair_rate=rho, max_steps=max_steps
+        )
+    pattern = draw(st.sampled_from(ADVERSARY_PATTERN_NAMES))
+    k = draw(st.sampled_from((None, 8, 20)))
+    max_steps = draw(st.sampled_from((None, 50)))
+    return LifetimeSpec(
+        timeline="adversarial", pattern=pattern, k=k, repair_rate=rho,
+        max_steps=max_steps,
+    )
+
+
+@st.composite
+def traffic_specs(
+    draw,
+    *,
+    open_loop: bool | None = None,
+    patterns: tuple = TRAFFIC_PATTERN_NAMES,
+    max_messages: int = 200,
+) -> TrafficSpec:
+    """A valid :class:`TrafficSpec` — closed-loop batch or open-loop.
+
+    Open-loop draws keep ``warmup < cycles`` coherent by construction.
+    Callers sweeping shapes should guard with :func:`patterns_for`
+    (transpose/bitreverse raise on degenerate shapes — by design).
+    """
+    pattern = draw(st.sampled_from(patterns))
+    open_ = draw(st.booleans()) if open_loop is None else open_loop
+    max_cycles = draw(st.sampled_from((5, 200, 10_000)))
+    if not open_:
+        messages = draw(st.integers(min_value=1, max_value=max_messages))
+        return TrafficSpec(pattern=pattern, messages=messages, max_cycles=max_cycles)
+    injection = draw(st.sampled_from(("bernoulli", "periodic")))
+    rate = draw(st.sampled_from((0.01, 0.05, 0.2)))
+    cycles = draw(st.sampled_from((1, 13, 60)))
+    warmup = draw(st.integers(min_value=0, max_value=cycles - 1))
+    return TrafficSpec(
+        pattern=pattern, injection=injection, rate=rate, cycles=cycles,
+        warmup=warmup, max_cycles=max_cycles,
+    )

@@ -111,6 +111,20 @@ class TestTraffic:
         assert "live" in out and "not reached" in out
 
 
+class TestConformanceParser:
+    """Flag wiring only — the suite itself runs in tests/test_conformance.py
+    (and in CI as `repro-ft conformance --quick`)."""
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["conformance", "--quick", "--update-golden", "--golden-dir", "/tmp/g"]
+        )
+        assert args.quick and args.update_golden and args.golden_dir == "/tmp/g"
+        defaults = build_parser().parse_args(["conformance"])
+        assert not defaults.quick and not defaults.update_golden
+        assert defaults.fn is not None
+
+
 class TestFigures:
     def test_renders_both(self, capsys):
         assert main(["figures"]) == 0

@@ -1,0 +1,75 @@
+"""The committed golden artifacts and the conformance suite end to end.
+
+The golden gate runs against the *committed* snapshots under
+``tests/golden/`` — a failure here means serialization or RNG streams
+drifted (see docs/testing.md for the update workflow).  The full quick
+suite and the CLI wiring are exercised under the ``slow`` marker; CI
+runs the same thing via ``repro-ft conformance --quick``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testkit.golden import GOLDEN_CASES, check_golden, default_golden_dir
+
+pytestmark = pytest.mark.conformance
+
+
+class TestCommittedGoldens:
+    def test_registry_covers_all_four_pillars(self):
+        from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
+
+        kinds = {
+            type(point)
+            for case in GOLDEN_CASES
+            for point in case.spec.grid
+        }
+        assert kinds == {FaultSpec, LifetimeSpec, TrafficSpec}
+        constructions = {case.spec.construction for case in GOLDEN_CASES}
+        assert {"bn", "an", "dn"} <= constructions
+
+    def test_every_golden_artifact_is_committed(self):
+        directory = default_golden_dir()
+        for case in GOLDEN_CASES:
+            assert (directory / case.filename).exists(), case.name
+
+    @pytest.mark.parametrize("case", GOLDEN_CASES, ids=lambda c: c.name)
+    def test_golden_artifact_fresh(self, case):
+        check_golden(case).raise_on_mismatch()
+
+
+@pytest.mark.slow
+class TestQuickSuiteEndToEnd:
+    def test_cli_quick_tier_green(self, capsys):
+        from repro.cli import main
+
+        assert main(["conformance", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance (quick):" in out and "0 failed" in out
+        assert "repair-modes: ok" in out
+
+    def test_cli_update_then_tamper_round_trip(self, tmp_path, capsys):
+        """--update-golden writes a passing snapshot set; tampering one
+        field then flips the exit code and surfaces the field path.
+        (One combined test: each CLI invocation runs the whole quick
+        suite, so this is the expensive way to exercise the golden gate —
+        the cheap per-case mutations live in tests/test_testkit.py.)"""
+        import json
+
+        from repro.cli import main
+
+        assert main(["conformance", "--quick", "--update-golden",
+                     "--golden-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rewritten" in out
+        for case in GOLDEN_CASES:
+            assert (tmp_path / case.filename).exists()
+        victim = tmp_path / GOLDEN_CASES[0].filename
+        payload = json.loads(victim.read_text())
+        payload["points"][0]["result"]["successes"] += 1
+        victim.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        assert main(["conformance", "--quick", "--golden-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "points[0].result.successes" in out

@@ -12,6 +12,10 @@ Three layers of assurance, strongest first:
 * end-to-end byte-identity of experiment JSON between
   ``ExperimentRunner(batch=True)`` / ``batch=False`` and between the CLI
   ``--batch`` / ``--no-batch`` flags.
+
+Parameter pools and the per-record comparison views come from
+``repro.testkit`` (``strategies.BN_PARAM_SETS``, ``oracles.*_record``) —
+the same generators every other conformance consumer uses.
 """
 
 from __future__ import annotations
@@ -34,31 +38,9 @@ from repro.api import (
 from repro.core.healthiness import check_healthiness, check_healthiness_batch
 from repro.core.params import BnParams
 from repro.fastpath.bn_batch import sample_bn_faults_batch, straight_survival_batch
+from repro.testkit.oracles import health_record, lifetime_record, outcome_record
+from repro.testkit.strategies import BN_PARAM_SETS
 from repro.util.rng import spawn_rng
-
-#: Small-but-real parameter sets spanning d=1, d=2 and both s values.
-BN_PARAM_SETS = [
-    dict(d=1, b=3, s=1, t=2),
-    dict(d=2, b=3, s=1, t=2),
-    dict(d=2, b=4, s=1, t=2),
-    dict(d=2, b=5, s=2, t=2),
-]
-
-
-def outcome_tuple(out):
-    return (out.success, out.category, out.num_faults, out.strategy_used, out.healthy)
-
-
-def health_tuple(h):
-    if h is None:
-        return None
-    return (
-        h.cond1_ok, h.cond2_ok, h.cond3_ok, h.cond3_faulty_ok,
-        h.num_faults, h.max_brick_faults,
-        [tuple(int(c) for c in v) for v in h.cond1_violations],
-        [(tuple(int(c) for c in corner), int(n)) for corner, n in h.cond2_violations],
-        [tuple(int(c) for c in v) for v in h.cond3_violations],
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -81,9 +63,9 @@ def test_bn_batch_equals_scalar(params, p_mult, q, check_health, seed0):
     seeds = list(range(seed0, seed0 + 6))
     batch = bn.run_batch(spec, seeds)
     scalar = [bn.trial(spec, s) for s in seeds]
-    assert [outcome_tuple(o) for o in batch] == [outcome_tuple(o) for o in scalar]
-    assert [health_tuple(o.health) for o in batch] == [
-        health_tuple(o.health) for o in scalar
+    assert [outcome_record(o) for o in batch] == [outcome_record(o) for o in scalar]
+    assert [health_record(o.health) for o in batch] == [
+        health_record(o.health) for o in scalar
     ]
 
 
@@ -94,7 +76,7 @@ def test_an_batch_equals_scalar(p):
     seeds = list(range(8))
     batch = an.run_batch(spec, seeds)
     scalar = [an.trial(spec, s) for s in seeds]
-    assert [outcome_tuple(o) for o in batch] == [outcome_tuple(o) for o in scalar]
+    assert [outcome_record(o) for o in batch] == [outcome_record(o) for o in scalar]
 
 
 def test_bn_strategy_straight_batch_equals_scalar():
@@ -105,7 +87,7 @@ def test_bn_strategy_straight_batch_equals_scalar():
     seeds = list(range(12))
     batch = bn.run_batch(spec, seeds)
     scalar = [bn.trial(spec, s) for s in seeds]
-    assert [outcome_tuple(o) for o in batch] == [outcome_tuple(o) for o in scalar]
+    assert [outcome_record(o) for o in batch] == [outcome_record(o) for o in scalar]
     assert any(not o.success for o in batch)  # the point: mixed outcomes
 
 
@@ -113,13 +95,6 @@ def test_bn_strategy_straight_batch_equals_scalar():
 # The batched lifetime kernel (ISSUE 3 acceptance: identical first-failure
 # times, trial for trial)
 # ---------------------------------------------------------------------------
-
-
-def lifetime_tuple(out):
-    return (
-        out.lifetime, out.steps, out.category, out.failed,
-        out.masked, out.replaced, out.repaired,
-    )
 
 
 @settings(max_examples=20, deadline=None)
@@ -136,7 +111,7 @@ def test_bn_lifetime_batch_equals_scalar(params, strategy, max_steps, seed0):
     seeds = list(range(seed0, seed0 + 5))
     batch = bn.run_lifetime_batch(spec, seeds)
     scalar = [bn.lifetime_trial(spec, s) for s in seeds]
-    assert [lifetime_tuple(o) for o in batch] == [lifetime_tuple(o) for o in scalar]
+    assert [lifetime_record(o) for o in batch] == [lifetime_record(o) for o in scalar]
 
 
 def test_lifetime_runner_batch_json_byte_identical(tmp_path):
@@ -180,7 +155,7 @@ def test_health_batch_equals_scalar(params_kw):
     )
     batch_reports = check_healthiness_batch(params, stack)
     for i in range(stack.shape[0]):
-        assert health_tuple(check_healthiness(params, stack[i])) == health_tuple(
+        assert health_record(check_healthiness(params, stack[i])) == health_record(
             batch_reports[i]
         )
 

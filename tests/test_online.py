@@ -4,8 +4,11 @@ The load-bearing assertion is the incremental-repair contract: the
 incremental pipeline (placement recomputed from the maintained row
 profile, embedding rebuilt by the straight fast extraction) must produce
 the *same* placements, event sequences and lifetimes as the
-full-recompute reference mode — asserted here over 200 random timelines
-spanning every timeline kind (the ISSUE 3 acceptance bar).
+full-recompute reference mode — asserted over 200 random timelines
+spanning every timeline kind (the ISSUE 3 acceptance bar).  The case
+list and the field-for-field comparison now live in ``repro.testkit``
+(``strategies.timeline_cases``, ``oracles.repair_mode_oracle``); this
+file invokes them and keeps the targeted event-level unit tests.
 """
 
 from __future__ import annotations
@@ -17,6 +20,8 @@ from repro.api.protocol import LifetimeSpec
 from repro.core.bn import BTorus
 from repro.core.online import OnlineRecovery, fault_lifetime, run_online_timeline
 from repro.errors import ReconstructionError
+from repro.testkit.oracles import repair_mode_oracle
+from repro.testkit.strategies import timeline_cases
 from repro.util.rng import spawn_rng
 
 
@@ -119,65 +124,16 @@ class TestOnlineRecovery:
 # ---------------------------------------------------------------------------
 
 
-def _timeline_specs():
-    """200 seeded timeline points across every kind."""
-    cases = []
-    for seed in range(80):
-        cases.append((seed, LifetimeSpec()))
-    for seed in range(40):
-        cases.append(
-            (1000 + seed, LifetimeSpec(timeline="uniform", repair_rate=0.2, max_steps=80))
-        )
-    for seed in range(30):
-        cases.append(
-            (2000 + seed, LifetimeSpec(timeline="bernoulli", rate=0.002, max_steps=60))
-        )
-    for seed in range(25):
-        cases.append((3000 + seed, LifetimeSpec(timeline="burst", burst=3, max_steps=40)))
-    for pattern in ("random", "cluster", "rows", "diagonal", "residue"):
-        for seed in range(5):
-            cases.append(
-                (4000 + seed, LifetimeSpec(timeline="adversarial", pattern=pattern))
-            )
-    assert len(cases) >= 200
-    return cases
-
-
 class TestIncrementalEqualsFull:
     def test_200_random_timelines(self, bn2_small):
-        bt = BTorus(bn2_small)
-        for seed, spec in _timeline_specs():
-            inc = OnlineRecovery(bt, incremental=True)
-            full = OnlineRecovery(bt, incremental=False)
-            out_inc = run_online_timeline(inc, spec, spawn_rng(seed, "eq", spec.label()))
-            out_full = run_online_timeline(full, spec, spawn_rng(seed, "eq", spec.label()))
-            key = (seed, spec.label())
-            assert (
-                out_inc.lifetime,
-                out_inc.steps,
-                out_inc.category,
-                out_inc.failed,
-                out_inc.masked,
-                out_inc.replaced,
-                out_inc.repaired,
-            ) == (
-                out_full.lifetime,
-                out_full.steps,
-                out_full.category,
-                out_full.failed,
-                out_full.masked,
-                out_full.replaced,
-                out_full.repaired,
-            ), key
-            # Same surviving placement, and both valid for the fault set.
-            assert (inc.faults == full.faults).all(), key
-            assert (
-                inc.recovery.bands.bottoms == full.recovery.bands.bottoms
-            ).all(), key
-            assert (inc.recovery.phi == full.recovery.phi).all(), key
-            # The surviving placement is structurally valid; it also covers
-            # every fault except (when the trial died) the killing arrival.
-            inc.recovery.bands.validate(None if out_inc.failed else inc.faults)
+        """The full contract — identical outcomes, fault sets, placements
+        and embeddings, plus structural validity of the survivor — over
+        the canonical >= 200 timeline cases, via the testkit oracle."""
+        cases = timeline_cases()
+        assert len(cases) >= 200
+        report = repair_mode_oracle(bn2_small, cases)
+        assert report.cases == len(cases)
+        report.raise_on_mismatch()
 
     def test_fault_lifetime_modes_agree(self, bn2_small):
         bt = BTorus(bn2_small)

@@ -13,6 +13,11 @@ Three layers, strongest first:
   random shapes, patterns, counts, timeouts and injection schedules;
 * open-loop workload model coverage (injection order, warmup windows,
   saturation sweep) and the engine's zero-cycle throughput definition.
+
+Shape pools and the pattern-validity guard come from
+``repro.testkit.strategies``; the field-for-field ``SimResult``
+comparison is ``repro.testkit.oracles.compare_sim_results`` — the same
+diff the conformance suite and mutation tests use.
 """
 
 from __future__ import annotations
@@ -37,22 +42,14 @@ from repro.sim.traffic import (
     transpose_index,
 )
 from repro.sim.workload import make_open_loop, open_loop_stats, saturation_sweep
+from repro.testkit.oracles import compare_sim_results
+from repro.testkit.strategies import (
+    NON_POW2_SHAPES,
+    UNIVERSAL_SHAPES,
+    patterns_for,
+)
 from repro.topology.coords import CoordCodec
 from repro.util.rng import spawn_rng
-
-#: Shapes valid for every pattern (power-of-two size, sides >= 2,
-#: non-degenerate transpose) — the hypothesis sweep draws from these.
-UNIVERSAL_SHAPES = [(4, 4), (8, 8), (2, 8), (4, 4, 4), (2, 4, 8)]
-#: Valid for everything except bitreverse (non-power-of-two sizes).
-NON_POW2_SHAPES = [(6, 6), (5, 7), (3, 9, 2), (36, 36)]
-
-
-def _patterns_for(shape: tuple[int, ...]) -> list[str]:
-    size = int(np.prod(shape))
-    pats = ["uniform", "hotspot", "neighbor", "transpose"]
-    if size >= 4 and size & (size - 1) == 0:
-        pats.append("bitreverse")
-    return pats
 
 
 # ---------------------------------------------------------------------------
@@ -69,7 +66,7 @@ class TestPatternProperties:
         seed=st.integers(min_value=0, max_value=10_000),
     )
     def test_exact_count_in_range_and_distinct(self, shape, pattern, count, seed):
-        if pattern not in _patterns_for(shape):
+        if pattern not in patterns_for(shape):
             return  # covered by the ValueError tests below
         t = make_traffic(shape, pattern, count, spawn_rng(seed, pattern))
         size = int(np.prod(shape))
@@ -183,18 +180,12 @@ class TestPatternProperties:
 
 
 def assert_results_identical(a, b):
-    # Field-by-field asserts first, for readable failure diagnostics...
-    assert a.delivered == b.delivered
-    assert a.total == b.total
-    assert a.cycles == b.cycles
-    assert a.max_queue == b.max_queue
-    assert a.timed_out == b.timed_out
-    assert a.latencies.tolist() == b.latencies.tolist()
-    assert a.message_latencies.tolist() == b.message_latencies.tolist()
-    assert a.throughput == b.throughput
+    # The testkit's field-level diff first, for readable diagnostics...
+    mismatches = compare_sim_results(a, b)
+    assert not mismatches, "\n".join(m.describe() for m in mismatches)
     # ...then the shared predicate the benches and CI gate rely on, which
-    # iterates the dataclass fields and so also covers any field the list
-    # above has not caught up with yet.
+    # iterates the dataclass fields and so also covers any field the
+    # record view has not caught up with yet.
     assert sim_results_identical(a, b)
 
 
@@ -208,7 +199,7 @@ class TestBatchKernelEquivalence:
         seed=st.integers(min_value=0, max_value=10_000),
     )
     def test_closed_loop_identical(self, shape, pattern, count, max_cycles, seed):
-        if pattern not in _patterns_for(shape):
+        if pattern not in patterns_for(shape):
             return
         t = make_traffic(shape, pattern, count, spawn_rng(seed, pattern))
         assert_results_identical(
