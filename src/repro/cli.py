@@ -5,12 +5,19 @@ Subcommands
 ``run``          generic experiment driver over any registered construction
 ``lifetime``     fault-arrival timelines driven to first recovery failure
 ``traffic``      guest-torus workload measurements (closed batch or open loop)
+``serve``        long-lived operator daemon (event ingest, queries, telemetry)
+``loadgen``      sustained mixed workload against a running serve daemon
 ``conformance``  differential-oracle + golden-artifact gate over all backends
 ``info``         print derived parameters of a construction
 ``bn-trial``     fault-injection trials against B^d_n
 ``dn-attack``    adversarial campaign against D^d_{n,k}
 ``figures``      regenerate the paper's Figure 1 / Figure 2 (ASCII)
 ``route``        routing simulation on a recovered torus
+
+Primary command output (summaries, tables, figures) goes to stdout;
+status and diagnostics go through :mod:`logging` (the ``repro`` logger
+hierarchy) to stderr, with the global ``--log-level`` flag shared by the
+daemon and the one-shot commands alike.
 
 ``run`` is the registry-powered front end::
 
@@ -22,10 +29,36 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
+from repro._version import __version__
 
 __all__ = ["main"]
+
+log = logging.getLogger("repro.cli")
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _setup_logging(level: str, *, timestamps: bool = False) -> None:
+    """(Re)bind the ``repro`` logger hierarchy to the *current* stderr.
+
+    Handlers are rebuilt on every :func:`main` call (instead of a one-shot
+    ``basicConfig``) so programmatic callers — and the test suite's
+    captured streams — always log to whatever ``sys.stderr`` is now.
+    Messages stay bare by default; ``timestamps`` switches to the
+    operator format the long-running daemon wants.
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    fmt = "%(asctime)s %(levelname)-7s %(name)s: %(message)s" if timestamps \
+        else "%(message)s"
+    handler.setFormatter(logging.Formatter(fmt))
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
 
 
 #: Factory kwargs accepted by each registered construction (CLI flag -> kwarg).
@@ -59,20 +92,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.pattern:
             for pat in args.pattern.split(","):
                 if pat not in ADVERSARY_PATTERNS:
-                    print(
-                        f"run: unknown pattern {pat!r}; "
-                        f"options: {', '.join(sorted(ADVERSARY_PATTERNS))}",
-                        file=sys.stderr,
+                    log.error(
+                        "run: unknown pattern %r; options: %s",
+                        pat,
+                        ", ".join(sorted(ADVERSARY_PATTERNS)),
                     )
                     return 2
                 grid.append(FaultSpec(pattern=pat, k=args.k))
         if args.p:
             grid += [FaultSpec(p=float(p), q=args.q) for p in args.p.split(",")]
     except ValueError as exc:
-        print(f"run: invalid fault point: {exc}", file=sys.stderr)
+        log.error("run: invalid fault point: %s", exc)
         return 2
     if not grid:
-        print("run: need at least one fault point (--p and/or --pattern)", file=sys.stderr)
+        log.error("run: need at least one fault point (--p and/or --pattern)")
         return 2
     spec = ExperimentSpec(
         construction=args.construction,
@@ -85,12 +118,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
     except (ParameterError, ValueError) as exc:
-        print(f"run: {exc}", file=sys.stderr)
+        log.error("run: %s", exc)
         return 2
     print(result.summary())
     if args.out:
         result.save(args.out)
-        print(f"results written to {args.out}")
+        log.info("results written to %s", args.out)
     return 0
 
 
@@ -157,11 +190,11 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
         )
     except ValueError as exc:
-        print(f"lifetime: {exc}", file=sys.stderr)
+        log.error("lifetime: %s", exc)
         return 2
     if args.traffic and args.construction != "bn":
         # Validate before the (possibly long) experiment runs.
-        print("lifetime: --traffic snapshots support bn only", file=sys.stderr)
+        log.error("lifetime: --traffic snapshots support bn only")
         return 2
     spec = ExperimentSpec(
         construction=args.construction,
@@ -174,7 +207,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
     try:
         result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
     except (ParameterError, ValueError) as exc:
-        print(f"lifetime: {exc}", file=sys.stderr)
+        log.error("lifetime: %s", exc)
         return 2
     print(result.summary())
     if args.construction == "bn":
@@ -203,7 +236,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                 )
             except (KeyError, ValueError) as exc:
                 # e.g. bitreverse on a non-power-of-two guest
-                print(f"lifetime: {exc}", file=sys.stderr)
+                log.error("lifetime: %s", exc)
                 return 2
             print(
                 f"traffic snapshots ('{args.traffic}', {args.messages} messages"
@@ -224,7 +257,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                 )
     if args.out:
         result.save(args.out)
-        print(f"results written to {args.out}")
+        log.info("results written to %s", args.out)
     return 0
 
 
@@ -261,7 +294,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                     )
                 )
     except ValueError as exc:
-        print(f"traffic: invalid traffic point: {exc}", file=sys.stderr)
+        log.error("traffic: invalid traffic point: %s", exc)
         return 2
     spec = ExperimentSpec(
         construction=args.construction,
@@ -274,12 +307,12 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     try:
         result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
     except (ParameterError, TypeError, ValueError) as exc:
-        print(f"traffic: {exc}", file=sys.stderr)
+        log.error("traffic: %s", exc)
         return 2
     print(result.summary())
     if args.out:
         result.save(args.out)
-        print(f"results written to {args.out}")
+        log.info("results written to %s", args.out)
     return 0
 
 
@@ -339,16 +372,19 @@ def _cmd_route(args: argparse.Namespace) -> int:
             rec = bt.recover(faults)
             break
         except ReconstructionError as exc:
-            print(f"seed {args.seed + attempt}: unrecoverable draw ({exc.category}); retrying")
+            log.warning(
+                "seed %d: unrecoverable draw (%s); retrying",
+                args.seed + attempt, exc.category,
+            )
     if rec is None:
-        print("no recoverable draw in 10 attempts", file=sys.stderr)
+        log.error("no recoverable draw in 10 attempts")
         return 1
     shape = rec.guest_shape()
     try:
         traffic = make_traffic(shape, args.pattern, args.messages, rng)
     except (KeyError, ValueError) as exc:
         # e.g. bitreverse on a non-power-of-two guest, unknown pattern
-        print(f"route: {exc}", file=sys.stderr)
+        log.error("route: %s", exc)
         return 2
     stats = latency_stats(simulate(shape, traffic))
     print(f"recovered {shape} torus from {int(faults.sum())} faults; "
@@ -356,6 +392,141 @@ def _cmd_route(args: argparse.Namespace) -> int:
     for k, v in stats.items():
         print(f"  {k:10s} {v}")
     return 0
+
+
+def _parse_param_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_params(text: str) -> dict:
+    """``d=2,b=3,strategy=auto`` -> factory kwargs (int/float/str values)."""
+    params: dict = {}
+    for item in filter(None, text.split(",")):
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ValueError(f"bad parameter {item!r} (expected key=value)")
+        params[key] = _parse_param_value(value)
+    return params
+
+
+def _parse_machine_spec(text: str) -> tuple[str, str, dict]:
+    """``name=construction:key=val,...`` -> a ServeConfig machine entry."""
+    name, sep, rest = text.partition("=")
+    if not sep or not name:
+        raise ValueError(
+            f"bad machine spec {text!r} (expected NAME=CONSTRUCTION[:key=val,...])"
+        )
+    construction, _, params = rest.partition(":")
+    if not construction:
+        raise ValueError(f"bad machine spec {text!r}: missing construction")
+    return name, construction, _parse_params(params)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+    from pathlib import Path
+
+    from repro.serve.server import ReproServer, ServeConfig, ServeError
+
+    try:
+        machines = tuple(_parse_machine_spec(m) for m in args.machine)
+    except ValueError as exc:
+        log.error("serve: %s", exc)
+        return 2
+    server = ReproServer(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            telemetry_interval=args.telemetry_interval,
+            subscriber_queue=args.subscriber_queue,
+            machines=machines,
+        )
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_shutdown)
+        await server.start()
+        if args.port_file:
+            # Rendezvous for scripts that started us with --port 0.
+            Path(args.port_file).write_text(f"{server.port}\n", encoding="utf-8")
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_run())
+    except ServeError as exc:
+        log.error("serve: %s", exc)
+        return 2
+    except OSError as exc:  # e.g. address already in use
+        log.error("serve: cannot listen on %s:%d: %s", args.host, args.port, exc)
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.client import LoadGenConfig, LoadGenerator, ServeRequestError
+    from repro.util.serialization import save_json
+
+    try:
+        params = _parse_params(args.params)
+    except ValueError as exc:
+        log.error("loadgen: %s", exc)
+        return 2
+    config = LoadGenConfig(
+        host=args.host,
+        port=args.port,
+        machine=args.machine,
+        construction=args.construction,
+        params=params or LoadGenConfig().params,
+        clients=args.clients,
+        requests=args.requests,
+        event_fraction=args.event_fraction,
+        pattern=args.pattern,
+        messages=args.messages,
+        seed=args.seed,
+    )
+    try:
+        report = asyncio.run(LoadGenerator(config).run())
+    except (ConnectionError, OSError) as exc:
+        log.error("loadgen: cannot reach daemon at %s:%d: %s", args.host, args.port, exc)
+        return 1
+    except ServeRequestError as exc:
+        log.error("loadgen: setup failed: %s (%s)", exc, exc.code)
+        return 1
+    totals = report["totals"]
+    latency = report["latency"]
+    print(
+        f"loadgen: {totals['requests']} requests from {config.clients} clients "
+        f"in {report['elapsed_s']:.2f}s ({report['requests_per_s']:.0f} req/s)"
+    )
+    print(
+        f"  ok={totals['ok']} errors={totals['errors']} "
+        f"client_exceptions={totals['client_exceptions']} "
+        f"machine_died={totals['machine_died']}"
+    )
+    if latency.get("count"):
+        print(
+            f"  latency p50={latency['p50_ms']:.3g}ms p99={latency['p99_ms']:.3g}ms "
+            f"max={latency['max_ms']:.3g}ms"
+        )
+    if args.out:
+        save_json(args.out, report)
+        log.info("loadgen report written to %s", args.out)
+    clean = (
+        totals["errors"] == 0
+        and totals["client_exceptions"] == 0
+        and not totals["machine_died"]
+    )
+    return 0 if clean else 1
 
 
 def _add_construction_args(parser: argparse.ArgumentParser) -> None:
@@ -391,6 +562,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-ft",
         description="Fault-tolerant mesh/torus constructions (Tamaki, SPAA'94/JCSS'96)",
     )
+    ap.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    ap.add_argument("--log-level", dest="log_level", choices=_LOG_LEVELS,
+                    default="info",
+                    help="verbosity of status/diagnostic output on stderr "
+                         "(primary results always go to stdout; default: info)")
     sub = ap.add_subparsers(dest="cmd", required=True)
 
     p_run = sub.add_parser(
@@ -543,6 +719,57 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: tests/golden of the source checkout)")
     p_conf.set_defaults(fn=_cmd_conformance)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived operator daemon (event ingest, queries, telemetry)",
+    )
+    p_serve.add_argument("--host", type=str, default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7494,
+                         help="listen port (0 = ephemeral; see --port-file)")
+    p_serve.add_argument("--machine", action="append", default=[],
+                         metavar="NAME=CONSTRUCTION[:key=val,...]",
+                         help="machine to create at startup (repeatable), e.g. "
+                              "m0=bn:d=2,b=3,s=1,t=2; clients can also create "
+                              "machines over the wire")
+    p_serve.add_argument("--telemetry-interval", dest="telemetry_interval",
+                         type=float, default=1.0,
+                         help="seconds between pushed telemetry snapshots")
+    p_serve.add_argument("--subscriber-queue", dest="subscriber_queue",
+                         type=int, default=16,
+                         help="per-subscriber snapshot queue depth before "
+                              "drop-and-count backpressure kicks in")
+    p_serve.add_argument("--port-file", dest="port_file", type=str, default="",
+                         help="write the bound port here once listening "
+                              "(rendezvous for scripts using --port 0)")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="sustained mixed workload against a running serve daemon",
+    )
+    p_load.add_argument("--host", type=str, default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=7494)
+    p_load.add_argument("--machine", type=str, default="loadgen",
+                        help="machine name to create (exist_ok) and target")
+    p_load.add_argument("--construction", choices=sorted(_RUN_PARAMS), default="bn")
+    p_load.add_argument("--params", type=str, default="",
+                        help="construction kwargs, e.g. d=2,b=3,s=1,t=2")
+    p_load.add_argument("--clients", type=int, default=4,
+                        help="concurrent client connections")
+    p_load.add_argument("--requests", type=int, default=1000,
+                        help="total requests across all clients")
+    p_load.add_argument("--event-fraction", dest="event_fraction", type=float,
+                        default=0.5,
+                        help="fraction of requests that are fault/repair events "
+                             "(the rest are live traffic queries)")
+    p_load.add_argument("--pattern", type=str, default="uniform")
+    p_load.add_argument("--messages", type=int, default=32,
+                        help="messages per traffic query")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--out", type=str, default="",
+                        help="write the full loadgen report JSON here")
+    p_load.set_defaults(fn=_cmd_loadgen)
+
     p_route = sub.add_parser("route", help="routing sim on a recovered torus")
     p_route.add_argument("--b", type=int, default=3)
     p_route.add_argument("--s", type=int, default=1)
@@ -556,6 +783,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _setup_logging(args.log_level, timestamps=args.cmd == "serve")
     return args.fn(args)
 
 

@@ -1,0 +1,33 @@
+"""``repro-ft serve`` — the long-lived network-operator daemon.
+
+Everything else in this repository is a one-shot run: draw faults,
+recover, report.  A deployed machine is *operated*: faults and repairs
+arrive continuously, traffic must keep flowing through the live
+embedding, and an operator watches telemetry to decide when the machine
+is dying.  This subsystem is that operational view — the four pillars
+(trials, lifetimes, traffic, conformance) become services behind one
+asyncio event loop:
+
+* :mod:`repro.serve.protocol`  — versioned newline-delimited JSON frames
+  (requests, responses, subscription events) over asyncio streams;
+* :mod:`repro.serve.state`     — per-machine state: the incremental
+  lifetime pipeline (:class:`~repro.core.online.OnlineRecovery` for
+  ``bn``, the generic full-recompute driver elsewhere) plus live-embedding
+  traffic measurement, wrapped in an actor that serialises mutation;
+* :mod:`repro.serve.telemetry` — rolling counters and latency histograms
+  aggregated from :class:`~repro.sim.engine.SimResult` /
+  :class:`~repro.core.healthiness.HealthReport`;
+* :mod:`repro.serve.server`    — the daemon: machine registry, request
+  dispatch, streaming telemetry with per-subscriber backpressure,
+  graceful shutdown;
+* :mod:`repro.serve.client`    — async client plus the
+  :class:`~repro.serve.client.LoadGenerator` that drives sustained mixed
+  workloads (``repro-ft loadgen``, benchmarked in bench_e20).
+
+See docs/serve.md for the wire protocol, the telemetry schema and an
+operator walkthrough.
+"""
+
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+
+__all__ = ["PROTOCOL_VERSION", "ProtocolError"]

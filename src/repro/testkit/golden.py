@@ -42,10 +42,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class GoldenCase:
-    """One canonical experiment whose serialised result is pinned."""
+    """One canonical computation whose serialised result is pinned.
+
+    ``kind`` selects the computation: ``"experiment"`` replays ``spec``
+    through the reference :class:`~repro.api.experiment.ExperimentRunner`
+    backend; ``"serve"`` replays the canned serve session
+    (:func:`repro.serve.state.scripted_session` — events, live traffic
+    queries, telemetry snapshot and state digest, no sockets).
+    """
 
     name: str
-    spec: ExperimentSpec
+    spec: ExperimentSpec | None = None
+    kind: str = "experiment"
 
     @property
     def filename(self) -> str:
@@ -113,6 +121,10 @@ GOLDEN_CASES: tuple[GoldenCase, ...] = (
             name="golden-bn-traffic",
         ),
     ),
+    # The fifth pillar: a canned serve session (scripted fault/repair
+    # ingestion + live-embedding traffic queries + telemetry + digest),
+    # wall-clock-free by construction so its payload is byte-stable.
+    GoldenCase("serve-session", kind="serve"),
 )
 
 
@@ -129,10 +141,17 @@ def default_golden_dir() -> Path:
 def compute_case(case: GoldenCase) -> dict:
     """Recompute the case's result payload with the reference backend.
 
-    Serial scalar execution on purpose: every other backend is asserted
-    equal to it by :func:`repro.testkit.oracles.runner_backends_oracle`,
-    so pinning the reference pins them all.
+    Experiments run serial scalar execution on purpose: every other
+    backend is asserted equal to it by
+    :func:`repro.testkit.oracles.runner_backends_oracle`, so pinning the
+    reference pins them all.  Serve sessions replay the scripted session
+    directly on :class:`~repro.serve.state.MachineState` — the socket
+    path is asserted equal to that state in tests/test_serve.py.
     """
+    if case.kind == "serve":
+        from repro.serve.state import scripted_session
+
+        return scripted_session()
     from repro.api.experiment import ExperimentRunner
 
     return ExperimentRunner(workers=1, batch=False).run(case.spec).to_dict()

@@ -17,17 +17,20 @@ pytestmark = pytest.mark.conformance
 
 
 class TestCommittedGoldens:
-    def test_registry_covers_all_four_pillars(self):
+    def test_registry_covers_all_five_pillars(self):
         from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
 
+        experiments = [c for c in GOLDEN_CASES if c.kind == "experiment"]
         kinds = {
             type(point)
-            for case in GOLDEN_CASES
+            for case in experiments
             for point in case.spec.grid
         }
         assert kinds == {FaultSpec, LifetimeSpec, TrafficSpec}
-        constructions = {case.spec.construction for case in GOLDEN_CASES}
+        constructions = {case.spec.construction for case in experiments}
         assert {"bn", "an", "dn"} <= constructions
+        # the fifth pillar: the canned serve session rides the same gate
+        assert any(case.kind == "serve" for case in GOLDEN_CASES)
 
     def test_every_golden_artifact_is_committed(self):
         directory = default_golden_dir()

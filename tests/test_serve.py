@@ -1,0 +1,467 @@
+"""Serve subsystem: protocol, daemon, concurrency, determinism.
+
+Covers the wire contract (round-trips, malformed/oversized frames,
+version-mismatch rejection), per-machine mutation ordering under
+concurrent clients, subscriber backpressure, graceful shutdown
+mid-stream, and the determinism contract: ingesting the scripted event
+sequence online — directly or over TCP — leaves byte-identical machine
+state to the offline LifetimeSpec path.
+
+No pytest-asyncio here: each test drives its own ``asyncio.run`` so the
+suite runs on the stock toolchain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api.protocol import LifetimeSpec
+from repro.serve import protocol
+from repro.serve.client import LoadGenConfig, LoadGenerator, ServeClient, ServeRequestError
+from repro.serve.server import ReproServer, ServeConfig, ServeError
+from repro.serve.state import (
+    MachineState,
+    offline_digest,
+    scripted_events,
+    scripted_session,
+)
+from repro.serve.telemetry import LatencyHistogram
+
+BN_PARAMS = {"d": 2, "b": 3, "s": 1, "t": 2}
+BN_SPEC = LifetimeSpec(timeline="bernoulli", rate=0.0005, repair_rate=0.3, max_steps=40)
+
+
+def canonical(payload: dict) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+async def _started_server(**overrides) -> ReproServer:
+    server = ReproServer(ServeConfig(port=0, **overrides))
+    await server.start()
+    return server
+
+
+async def _stop(server: ReproServer) -> None:
+    server.request_shutdown()
+    await server.serve_until_shutdown()
+
+
+class TestProtocol:
+    def test_round_trip_all_frame_shapes(self):
+        frames = [
+            protocol.request_frame("event", 7, machine="m", kind="fault", node=3),
+            protocol.ok_response(7, {"seq": 1}),
+            protocol.error_response(7, "unknown-machine", "no such machine"),
+            protocol.event_frame("telemetry", snapshot={"alive": True}),
+        ]
+        for frame in frames:
+            assert protocol.decode_frame(protocol.encode_frame(frame)) == frame
+
+    def test_canonical_bytes_are_stable(self):
+        a = protocol.encode_frame({"v": 1, "b": 2, "a": 1})
+        b = protocol.encode_frame({"a": 1, "v": 1, "b": 2})
+        assert a == b  # sorted keys, compact separators
+
+    def test_malformed_frames_rejected(self):
+        for line in (b"not json\n", b"[1, 2, 3]\n", b'"just a string"\n', b"\xff\xfe\n"):
+            with pytest.raises(protocol.ProtocolError) as err:
+                protocol.decode_frame(line)
+            assert err.value.code == "malformed"
+
+    def test_version_mismatch_rejected_as_version_not_parse_error(self):
+        for bad in ({"v": 2, "op": "ping"}, {"op": "ping"}, {"v": "1", "op": "ping"}):
+            with pytest.raises(protocol.ProtocolError) as err:
+                protocol.decode_frame(json.dumps(bad).encode() + b"\n")
+            assert err.value.code == "version"
+
+    def test_oversized_frames_rejected_both_directions(self):
+        blob = {"v": protocol.PROTOCOL_VERSION, "pad": "x" * protocol.MAX_FRAME_BYTES}
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.encode_frame(blob)
+        assert err.value.code == "oversized"
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.decode_frame(b"x" * (protocol.MAX_FRAME_BYTES + 1))
+        assert err.value.code == "oversized"
+
+
+class TestServerBasics:
+    def test_ping_version_create_list(self):
+        async def go():
+            server = await _started_server()
+            try:
+                c = await ServeClient.connect("127.0.0.1", server.port)
+                assert await c.request("ping") == {"pong": True}
+                version = await c.request("version")
+                assert version["protocol"] == protocol.PROTOCOL_VERSION
+                info = await c.request(
+                    "create", machine="m0", construction="bn", params=BN_PARAMS
+                )
+                assert info["num_nodes"] > 0
+                assert info["incremental"] is True
+                listing = await c.request("list")
+                assert [m["name"] for m in listing["machines"]] == ["m0"]
+                await c.close()
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+    def test_op_errors_keep_connection_alive(self):
+        async def go():
+            server = await _started_server()
+            try:
+                c = await ServeClient.connect("127.0.0.1", server.port)
+                with pytest.raises(ServeRequestError) as err:
+                    await c.request("event", machine="ghost", kind="fault", node=0)
+                assert err.value.code == "unknown-machine"
+                with pytest.raises(ServeRequestError) as err:
+                    await c.request("frobnicate")
+                assert err.value.code == "unknown-op"
+                with pytest.raises(ServeRequestError) as err:
+                    await c.request("create", machine="m", construction="nope")
+                assert err.value.code == "unknown-construction"
+                # the connection survived all three op-level errors
+                assert await c.request("ping") == {"pong": True}
+                await c.close()
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+    def test_create_twice_conflicts_unless_exist_ok(self):
+        async def go():
+            server = await _started_server()
+            try:
+                c = await ServeClient.connect("127.0.0.1", server.port)
+                await c.request("create", machine="m", construction="sparerows",
+                                params={"n": 8, "sigma": 2})
+                with pytest.raises(ServeRequestError) as err:
+                    await c.request("create", machine="m", construction="sparerows",
+                                    params={"n": 8, "sigma": 2})
+                assert err.value.code == "exists"
+                again = await c.request("create", machine="m", construction="sparerows",
+                                        params={"n": 8, "sigma": 2}, exist_ok=True)
+                assert again["name"] == "m"
+                await c.close()
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+
+class TestWireViolations:
+    """Framing violations answer with a stable code, then close."""
+
+    async def _raw_exchange(self, server: ReproServer, raw: bytes) -> tuple[dict, bytes]:
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port, limit=protocol.MAX_FRAME_BYTES + 1
+        )
+        writer.write(raw)
+        await writer.drain()
+        line = await reader.readline()
+        rest = await reader.read()  # EOF ⇒ the server closed on us
+        writer.close()
+        await writer.wait_closed()
+        return json.loads(line), rest
+
+    def test_malformed_then_close(self):
+        async def go():
+            server = await _started_server()
+            try:
+                frame, rest = await self._raw_exchange(server, b"this is not json\n")
+                assert frame["ok"] is False
+                assert frame["error"]["code"] == "malformed"
+                assert rest == b""
+                assert server.telemetry.protocol_errors == 1
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+    def test_version_mismatch_then_close(self):
+        async def go():
+            server = await _started_server()
+            try:
+                raw = json.dumps({"v": 99, "id": 1, "op": "ping"}).encode() + b"\n"
+                frame, rest = await self._raw_exchange(server, raw)
+                assert frame["error"]["code"] == "version"
+                assert rest == b""
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+    def test_oversized_line_rejected(self):
+        async def go():
+            server = await _started_server()
+            try:
+                raw = b'{"v":1,"pad":"' + b"x" * (protocol.MAX_FRAME_BYTES + 16) + b'"}\n'
+                try:
+                    frame, _ = await self._raw_exchange(server, raw)
+                    assert frame["error"]["code"] == "oversized"
+                except (ConnectionError, OSError):
+                    pass  # the server may drop the socket before our read
+                assert server.telemetry.protocol_errors == 1
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+
+class TestConcurrentMutation:
+    def test_seq_is_a_total_order_across_clients(self):
+        """4 clients hammer one machine; every applied mutation gets a
+        unique, gap-free sequence number — the actor lock's total order."""
+
+        async def client_work(port: int, node: int, rounds: int) -> list[int]:
+            c = await ServeClient.connect("127.0.0.1", port)
+            seqs = []
+            for i in range(rounds):
+                kind = "fault" if i % 2 == 0 else "repair"
+                result = await c.request("event", machine="m", kind=kind, node=node)
+                assert result["alive"] is True
+                seqs.append(result["seq"])
+            await c.close()
+            return seqs
+
+        async def go():
+            server = await _started_server()
+            try:
+                setup = await ServeClient.connect("127.0.0.1", server.port)
+                await setup.request("create", machine="m", construction="bn",
+                                    params=BN_PARAMS)
+                # Spread each client's node across the host array so the
+                # concurrent fault sets never crowd one brick.
+                per_client = await asyncio.gather(
+                    *(client_work(server.port, node, 24)
+                      for node in (0, 450, 900, 1350))
+                )
+                all_seqs = sorted(s for seqs in per_client for s in seqs)
+                assert all_seqs == list(range(1, 4 * 24 + 1))
+                for seqs in per_client:  # each client saw its own order
+                    assert seqs == sorted(seqs)
+                await setup.close()
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+    def test_events_batch_is_atomic(self):
+        """A batched ingest holds the lock once: its seqs are contiguous
+        even while another client floods single events."""
+
+        async def go():
+            server = await _started_server()
+            try:
+                a = await ServeClient.connect("127.0.0.1", server.port)
+                b = await ServeClient.connect("127.0.0.1", server.port)
+                await a.request("create", machine="m", construction="bn",
+                                params=BN_PARAMS)
+                flood = asyncio.ensure_future(_flood(b))
+                for _ in range(5):
+                    batch = [["fault", 900], ["repair", 900]] * 3
+                    results = (await a.request("events", machine="m",
+                                               events=batch))["results"]
+                    seqs = [r["seq"] for r in results]
+                    assert seqs == list(range(seqs[0], seqs[0] + len(batch)))
+                flood.cancel()
+                try:
+                    await flood
+                except asyncio.CancelledError:
+                    pass
+                await a.close()
+                await b.close()
+            finally:
+                await _stop(server)
+
+        async def _flood(client: ServeClient) -> None:
+            i = 0
+            while True:
+                kind = "fault" if i % 2 == 0 else "repair"
+                await client.request("event", machine="m", kind=kind, node=5)
+                i += 1
+
+        asyncio.run(go())
+
+
+class TestStreamingAndShutdown:
+    def test_graceful_shutdown_mid_stream(self):
+        """A telemetry subscriber sees snapshots, then the final
+        ``shutdown`` event frame, then EOF — never a bare disconnect."""
+
+        async def go():
+            server = await _started_server(telemetry_interval=0.02)
+            try:
+                sub = await ServeClient.connect("127.0.0.1", server.port)
+                await sub.request("create", machine="m", construction="sparerows",
+                                  params={"n": 8, "sigma": 2})
+                assert (await sub.request("subscribe", machine="m"))["subscribed"]
+                seen = 0
+                while seen < 3:
+                    frame = await sub.next_event(timeout=5.0)
+                    assert frame["event"] == "telemetry"
+                    assert frame["snapshot"]["machine"] == "m"
+                    seen += 1
+                other = await ServeClient.connect("127.0.0.1", server.port)
+                assert (await other.request("shutdown"))["stopping"] is True
+                # drain: telemetry frames may still be queued ahead of the
+                # farewell, but the farewell must arrive before EOF
+                while True:
+                    frame = await sub.next_event(timeout=5.0)
+                    if frame["event"] == "shutdown":
+                        break
+                    assert frame["event"] == "telemetry"
+                with pytest.raises((ConnectionError, asyncio.TimeoutError)):
+                    await sub.next_event(timeout=1.0)
+                await sub.close()
+                await other.close()
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+    def test_slow_subscriber_drops_snapshots_not_the_server(self):
+        async def go():
+            server = await _started_server(
+                telemetry_interval=0.005, subscriber_queue=1
+            )
+            try:
+                sub = await ServeClient.connect("127.0.0.1", server.port)
+                await sub.request("subscribe")
+                # Simulate a consumer wedged mid-write (kernel buffers make
+                # a merely-idle reader absorb small frames forever): stall
+                # the pump so the bounded queue actually fills.
+                (conn,) = server._conns
+                conn.sub_task.cancel()
+                await asyncio.sleep(0.3)
+                assert server.telemetry.snapshots_dropped > 0
+                # meanwhile the daemon still answers everyone else promptly
+                other = await ServeClient.connect("127.0.0.1", server.port)
+                assert await other.request("ping") == {"pong": True}
+                await other.close()
+                await sub.close()
+            finally:
+                await _stop(server)
+
+        asyncio.run(go())
+
+
+class TestDeterminism:
+    """Online ingestion ≡ offline LifetimeSpec path, byte for byte."""
+
+    def test_bn_online_matches_offline_digest(self):
+        events = scripted_events("bn", BN_PARAMS, BN_SPEC, seed=3)
+        assert events, "spec must produce a non-trivial event sequence"
+        state = MachineState("m", "bn", BN_PARAMS)
+        for kind, node in events:
+            state.apply_event(kind, node)
+        assert canonical(state.digest()) == canonical(
+            offline_digest("bn", BN_PARAMS, BN_SPEC, seed=3)
+        )
+
+    def test_generic_construction_matches_offline_even_through_death(self):
+        params = {"n": 8, "sigma": 2}
+        spec = LifetimeSpec(timeline="uniform", repair_rate=0.1, max_steps=200)
+        for seed in (0, 1, 2):
+            events = scripted_events("sparerows", params, spec, seed)
+            state = MachineState("m", "sparerows", params)
+            for kind, node in events:
+                state.apply_event(kind, node)
+            assert canonical(state.digest()) == canonical(
+                offline_digest("sparerows", params, spec, seed)
+            )
+
+    def test_online_over_the_wire_matches_offline_digest(self):
+        async def go() -> dict:
+            server = await _started_server()
+            try:
+                c = await ServeClient.connect("127.0.0.1", server.port)
+                await c.request("create", machine="m", construction="bn",
+                                params=BN_PARAMS)
+                events = scripted_events("bn", BN_PARAMS, BN_SPEC, seed=3)
+                half = len(events) // 2
+                for kind, node in events[:half]:  # singles ...
+                    await c.request("event", machine="m", kind=kind, node=node)
+                await c.request(  # ... then one atomic batch
+                    "events", machine="m",
+                    events=[[k, n] for k, n in events[half:]],
+                )
+                digest = await c.request("digest", machine="m")
+                await c.close()
+                return digest
+            finally:
+                await _stop(server)
+
+        wire_digest = asyncio.run(go())
+        assert canonical(wire_digest) == canonical(
+            offline_digest("bn", BN_PARAMS, BN_SPEC, seed=3)
+        )
+
+    def test_scripted_session_is_reproducible(self):
+        a, b = scripted_session(), scripted_session()
+        assert canonical(a) == canonical(b)
+        assert a["digest"]["alive"] is True
+        assert a["telemetry"]["traffic"]["queries"] == 2
+
+
+class TestTelemetryPrimitives:
+    def test_latency_histogram_percentiles(self):
+        hist = LatencyHistogram()
+        for ms in (1.0,) * 98 + (100.0, 200.0):
+            hist.record(ms)
+        assert hist.count == 100
+        assert hist.percentile(50) <= 2.0
+        assert hist.percentile(99) >= 50.0
+        assert hist.percentile(100) == 200.0
+        summary = hist.to_dict()
+        assert summary["count"] == 100 and summary["max_ms"] == 200.0
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.to_dict() == {"count": 0}
+        assert hist.percentile(50) != hist.percentile(50)  # NaN
+
+    def test_machine_telemetry_in_snapshot(self):
+        state = MachineState("m", "sparerows", {"n": 8, "sigma": 2})
+        state.apply_event("fault", 3)
+        state.apply_event("repair", 3)
+        snap = state.telemetry_snapshot()
+        assert snap["events"] == {
+            "faults": 1, "repairs": 1, "masked": 0, "replaced": 1,
+            "rejected_dead": 0,
+        }
+        assert snap["live_faults"] == 0 and snap["seq"] == 2
+
+
+class TestLoadGenerator:
+    def test_small_burst_sustains_zero_errors(self):
+        async def go() -> dict:
+            server = await _started_server()
+            try:
+                config = LoadGenConfig(
+                    port=server.port, clients=4, requests=60, messages=8, seed=7
+                )
+                return await LoadGenerator(config).run()
+            finally:
+                await _stop(server)
+
+        report = asyncio.run(go())
+        totals = report["totals"]
+        assert totals["requests"] == 60
+        assert totals["errors"] == 0 and totals["client_exceptions"] == 0
+        assert not totals["machine_died"]
+        assert report["latency"]["count"] == 60
+        assert report["telemetry"]["alive"] is True
+
+
+class TestServeErrors:
+    def test_create_machine_validation(self):
+        server = ReproServer()
+        with pytest.raises(ServeError):
+            server.create_machine("", "bn", {})
+        with pytest.raises(ServeError) as err:
+            server.create_machine("m", "bn", {"bogus": 1})
+        assert err.value.code == "bad-request"
