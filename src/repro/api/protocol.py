@@ -195,6 +195,14 @@ _TRAFFIC_PATTERNS = ("uniform", "transpose", "neighbor", "hotspot", "bitreverse"
 #: :data:`repro.sim.workload.INJECTIONS`.
 _INJECTIONS = ("batch", "bernoulli", "periodic")
 
+#: Routers accepted by :class:`TrafficSpec` (mirrors
+#: :data:`repro.sim.routing.ROUTERS`; kept literal so this module stays
+#: import-light).
+_TRAFFIC_ROUTERS = ("dimension", "adaptive")
+
+#: QoS class-count ceiling: class 0 (highest priority) .. 2.
+_MAX_QOS_CLASSES = 3
+
 
 @dataclass(frozen=True)
 class TrafficSpec:
@@ -219,6 +227,15 @@ class TrafficSpec:
     silently.  A grid point of this type makes the runner measure
     :class:`~repro.api.traffic.TrafficOutcome`\\ s on the construction's
     guest torus.
+
+    ``router`` selects the routing algorithm (``"dimension"`` static
+    e-cube, ``"adaptive"`` fault-aware detours — identical on fault-free
+    guests; see docs/routing.md), ``qos_classes`` the number of traffic
+    priority classes (1–3; messages are assigned round-robin by id,
+    class 0 highest priority), and ``credits`` the per-class credit pool
+    of the flow-control gate (0 = unlimited, the historical behaviour).
+    The three fields serialise only when non-default, so existing result
+    JSON is unchanged byte for byte.
     """
 
     pattern: str = "uniform"
@@ -228,6 +245,9 @@ class TrafficSpec:
     cycles: int = 0
     warmup: int = 0
     max_cycles: int = 10_000
+    router: str = "dimension"
+    qos_classes: int = 1
+    credits: int = 0
 
     def __post_init__(self) -> None:
         if self.pattern not in _TRAFFIC_PATTERNS:
@@ -238,6 +258,16 @@ class TrafficSpec:
             raise ValueError(
                 f"unknown injection {self.injection!r}; options: {_INJECTIONS}"
             )
+        if self.router not in _TRAFFIC_ROUTERS:
+            raise ValueError(
+                f"unknown router {self.router!r}; options: {_TRAFFIC_ROUTERS}"
+            )
+        if not (1 <= self.qos_classes <= _MAX_QOS_CLASSES):
+            raise ValueError(
+                f"qos_classes={self.qos_classes} out of [1, {_MAX_QOS_CLASSES}]"
+            )
+        if self.credits < 0:
+            raise ValueError(f"credits={self.credits} must be >= 0 (0 = unlimited)")
         if self.injection == "batch":
             if self.messages < 1:
                 raise ValueError("batch injection needs messages >= 1")
@@ -265,10 +295,25 @@ class TrafficSpec:
             parts.append(f"cycles={self.cycles}")
         else:
             parts.append(f"m={self.messages}")
+        if self.router != "dimension":
+            parts.append(self.router)
+        if self.qos_classes > 1:
+            parts.append(f"qos={self.qos_classes}")
+        if self.credits:
+            parts.append(f"credits={self.credits}")
         return " ".join(parts)
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        """JSON record; the PR-7 fields serialise only when non-default so
+        result files written before routers/QoS existed stay byte-stable."""
+        d = asdict(self)
+        if self.router == "dimension":
+            del d["router"]
+        if self.qos_classes == 1:
+            del d["qos_classes"]
+        if not self.credits:
+            del d["credits"]
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "TrafficSpec":

@@ -34,7 +34,26 @@ from repro.sim.traffic import make_traffic
 from repro.sim.workload import make_open_loop, open_loop_stats
 from repro.util.rng import spawn_rng
 
-__all__ = ["TrafficOutcome", "TrafficResult", "aggregate_traffic", "run_traffic_trial"]
+__all__ = [
+    "TrafficOutcome",
+    "TrafficResult",
+    "aggregate_traffic",
+    "message_classes",
+    "run_traffic_trial",
+]
+
+
+def message_classes(count: int, qos_classes: int) -> np.ndarray | None:
+    """Deterministic per-message QoS class assignment (``None`` = single class).
+
+    Messages are assigned round-robin by message id (``i % qos_classes``),
+    so every class sees the same spatial/temporal mix of the workload and
+    the assignment is identical across engines and worker counts.  Class
+    0 is the highest priority.
+    """
+    if qos_classes <= 1:
+        return None
+    return np.arange(count, dtype=np.int64) % int(qos_classes)
 
 
 @dataclass
@@ -54,10 +73,17 @@ class TrafficOutcome:
     p50: float
     p99: float
     max_latency: float
+    #: Messages refused by the router (no healthy route on the live fault
+    #: graph).  Always 0 on pristine guest tori — serialised only when
+    #: nonzero, so pre-router result JSON is unchanged.
+    undeliverable: int = 0
+    #: Per-QoS-class rows (:func:`repro.sim.metrics.per_class_stats`);
+    #: ``None`` for single-class runs and then omitted from JSON.
+    per_class: list | None = None
 
     def to_dict(self) -> dict:
         """JSON-stable per-trial record (floats kept exact, not rounded)."""
-        return {
+        out = {
             "offered": self.offered,
             "delivered": self.delivered,
             "timed_out": self.timed_out,
@@ -69,6 +95,11 @@ class TrafficOutcome:
             "p99": self.p99,
             "max_latency": self.max_latency,
         }
+        if self.undeliverable:
+            out["undeliverable"] = self.undeliverable
+        if self.per_class is not None:
+            out["per_class"] = self.per_class
+        return out
 
     @classmethod
     def from_dict(cls, d: dict) -> "TrafficOutcome":
@@ -83,6 +114,8 @@ class TrafficOutcome:
             p50=float(d["p50"]),
             p99=float(d["p99"]),
             max_latency=float(d["max_latency"]),
+            undeliverable=int(d.get("undeliverable", 0)),
+            per_class=d.get("per_class"),
         )
 
 
@@ -198,8 +231,19 @@ def run_traffic_trial(
         traffic, inject = make_open_loop(
             shape, spec.pattern, spec.rate, spec.cycles, rng, injection=spec.injection
         )
-        result = sim(shape, traffic, inject=inject, max_cycles=spec.max_cycles)
+        classes = message_classes(len(traffic), spec.qos_classes)
+        result = sim(
+            shape, traffic, inject=inject, max_cycles=spec.max_cycles,
+            router=spec.router, classes=classes, credits=spec.credits,
+        )
         stats = open_loop_stats(result, inject, warmup=spec.warmup, horizon=spec.cycles)
+        per_class = None
+        if classes is not None:
+            from repro.sim.metrics import per_class_stats
+
+            per_class = per_class_stats(
+                result, classes, measured=np.asarray(inject) >= spec.warmup
+            )
         return TrafficOutcome(
             offered=stats["offered"],
             delivered=stats["delivered"],
@@ -211,12 +255,19 @@ def run_traffic_trial(
             p50=stats["p50"],
             p99=stats["p99"],
             max_latency=float(stats["max"]),
+            undeliverable=result.undeliverable,
+            per_class=per_class,
         )
     traffic = make_traffic(shape, spec.pattern, spec.messages, rng)
-    result = sim(shape, traffic, max_cycles=spec.max_cycles)
-    from repro.sim.metrics import latency_stats
+    classes = message_classes(len(traffic), spec.qos_classes)
+    result = sim(
+        shape, traffic, max_cycles=spec.max_cycles,
+        router=spec.router, classes=classes, credits=spec.credits,
+    )
+    from repro.sim.metrics import latency_stats, per_class_stats
 
     stats = latency_stats(result)
+    per_class = per_class_stats(result, classes) if classes is not None else None
     return TrafficOutcome(
         offered=result.total,
         delivered=result.delivered,
@@ -228,4 +279,6 @@ def run_traffic_trial(
         p50=stats["p50"],
         p99=stats["p99"],
         max_latency=float(stats["max"]),
+        undeliverable=result.undeliverable,
+        per_class=per_class,
     )

@@ -233,6 +233,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                     pattern=args.traffic, messages=args.messages,
                     strategy=params.get("strategy", "auto"),
                     live_traffic=args.live_traffic,
+                    router=args.router,
                 )
             except (KeyError, ValueError) as exc:
                 # e.g. bitreverse on a non-power-of-two guest
@@ -240,7 +241,8 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                 return 2
             print(
                 f"traffic snapshots ('{args.traffic}', {args.messages} messages"
-                f"{', live' if args.live_traffic else ''}), "
+                f"{', live' if args.live_traffic else ''}"
+                f"{', adaptive' if args.router == 'adaptive' else ''}), "
                 f"trial seed {args.seed}, lifetime {snap['lifetime']}:"
             )
             for s in snap["snapshots"]:
@@ -249,10 +251,14 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
                           "(trial ended earlier)")
                     continue
                 st = s["stats"]
+                undeliv = (
+                    f"undeliverable={st['undeliverable']} "
+                    if "undeliverable" in st else ""
+                )
                 print(
                     f"  @{s['arrivals']:>4} arrivals: faults={s['num_faults']} "
                     f"p50={st['p50']:g} p99={st['p99']:g} "
-                    f"timed_out={st['timed_out']} "
+                    f"timed_out={st['timed_out']} {undeliv}"
                     f"pristine={'yes' if s['matches_pristine'] else 'NO'}"
                 )
     if args.out:
@@ -283,6 +289,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                             cycles=args.cycles,
                             warmup=args.warmup,
                             max_cycles=args.max_cycles,
+                            router=args.router,
+                            qos_classes=args.qos_classes,
+                            credits=args.credits,
                         )
                     )
             else:
@@ -291,6 +300,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                         pattern=pattern,
                         messages=args.messages,
                         max_cycles=args.max_cycles,
+                        router=args.router,
+                        qos_classes=args.qos_classes,
+                        credits=args.credits,
                     )
                 )
     except ValueError as exc:
@@ -493,6 +505,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         pattern=args.pattern,
         messages=args.messages,
         seed=args.seed,
+        router=args.router,
+        qos_classes=args.qos_classes,
+        credits=args.credits,
     )
     try:
         report = asyncio.run(LoadGenerator(config).run())
@@ -666,6 +681,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "every route through the current embedding, count "
                              "messages crossing broken host elements as "
                              "undeliverable, re-simulate the rest")
+    p_life.add_argument("--router", choices=["dimension", "adaptive"],
+                        default="dimension",
+                        help="live snapshots: 'adaptive' detours broken routes "
+                             "around the live fault set instead of refusing them")
     _add_construction_args(p_life)
     p_life.set_defaults(fn=_cmd_lifetime)
 
@@ -693,6 +712,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_traffic.add_argument("--max-cycles", dest="max_cycles", type=int, default=10_000,
                            help="simulation bound; undelivered messages count "
                                 "as timed_out")
+    p_traffic.add_argument("--router", choices=["dimension", "adaptive"],
+                           default="dimension",
+                           help="routing algorithm (see docs/routing.md); on the "
+                                "pristine guest torus both deliver identically")
+    p_traffic.add_argument("--qos-classes", dest="qos_classes", type=int, default=1,
+                           help="priority classes (1-3); messages are assigned "
+                                "round-robin by id, class 0 wins arbitration")
+    p_traffic.add_argument("--credits", type=int, default=0,
+                           help="per-class in-flight message budget "
+                                "(0 = unlimited); enables credit flow control")
     p_traffic.add_argument("--trials", type=int, default=5)
     p_traffic.add_argument("--seed", type=int, default=0)
     p_traffic.add_argument("--workers", type=int, default=1,
@@ -765,6 +794,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--pattern", type=str, default="uniform")
     p_load.add_argument("--messages", type=int, default=32,
                         help="messages per traffic query")
+    p_load.add_argument("--router", choices=["dimension", "adaptive"],
+                        default="dimension",
+                        help="router each traffic query asks the daemon for")
+    p_load.add_argument("--qos-classes", dest="qos_classes", type=int, default=1,
+                        help="priority classes per traffic query (1-3)")
+    p_load.add_argument("--credits", type=int, default=0,
+                        help="per-class in-flight budget per query (0 = unlimited)")
     p_load.add_argument("--seed", type=int, default=0)
     p_load.add_argument("--out", type=str, default="",
                         help="write the full loadgen report JSON here")

@@ -32,10 +32,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.sim.engine import SimResult
+from repro.sim.routing import ROUTERS, adaptive_route
 from repro.topology.coords import CoordCodec
 
 __all__ = [
+    "build_routes_batch",
     "routes_batch",
+    "routes_health_mask",
     "run_traffic_batch",
     "sim_results_identical",
     "simulate_batch",
@@ -102,21 +105,121 @@ def routes_batch(
     return nodes, lengths
 
 
+def routes_health_mask(
+    nodes: np.ndarray, node_ok, edge_ok
+) -> np.ndarray:
+    """Per-route health of padded node sequences under the predicates.
+
+    ``mask[i]`` is True iff every node and every hop of route ``i``
+    (ignoring ``-1`` padding) passes ``node_ok``/``edge_ok`` — the
+    vectorized form of :func:`repro.sim.routing.route_is_healthy`.
+    """
+    m = len(nodes)
+    if m == 0:
+        return np.zeros(0, dtype=bool)
+    pad = nodes < 0
+    safe = np.where(pad, 0, nodes)
+    bad = np.zeros(m, dtype=bool)
+    if node_ok is not None:
+        bad |= (~pad & ~node_ok(safe)).any(axis=1)
+    if edge_ok is not None and nodes.shape[1] > 1:
+        hop = ~pad[:, 1:]
+        bad |= (hop & ~edge_ok(safe[:, :-1], safe[:, 1:])).any(axis=1)
+    return ~bad
+
+
+def build_routes_batch(
+    shape: tuple[int, ...],
+    traffic: np.ndarray,
+    *,
+    router: str = "dimension",
+    node_ok=None,
+    edge_ok=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Padded routes under the selected router and health predicates.
+
+    Returns ``(nodes, lengths, routable)``.  The dimension-ordered batch
+    builder covers every message; under predicates, broken routes either
+    mark the message unroutable (``router="dimension"``) or are replaced
+    by the scalar adaptive detour (``router="adaptive"`` — only the
+    usually-few broken messages drop to per-message work, and they call
+    the *same* :func:`~repro.sim.routing.adaptive_route` the scalar
+    engine uses, so batched and scalar routes are identical by
+    construction).  ``routable[i]`` is False for messages no healthy
+    route exists for; their ``nodes`` row is all padding.
+    """
+    if router not in ROUTERS:
+        raise ValueError(f"unknown router {router!r}; options: {ROUTERS}")
+    traffic = np.asarray(traffic, dtype=np.int64).reshape(-1, 2)
+    nodes, lengths = routes_batch(shape, traffic)
+    m = len(nodes)
+    if node_ok is None and edge_ok is None:
+        return nodes, lengths, np.ones(m, dtype=bool)
+    routable = routes_health_mask(nodes, node_ok, edge_ok)
+    broken = np.flatnonzero(~routable)
+    if not len(broken):
+        return nodes, lengths, routable
+    detours: dict[int, np.ndarray] = {}
+    if router == "adaptive":
+        for i in broken:
+            r = adaptive_route(
+                shape, int(traffic[i, 0]), int(traffic[i, 1]),
+                node_ok=node_ok, edge_ok=edge_ok,
+            )
+            if r is not None:
+                detours[int(i)] = r
+                routable[i] = True
+    lmax = nodes.shape[1] - 1
+    if detours:
+        lmax = max(lmax, max(len(r) - 1 for r in detours.values()))
+    out = np.full((m, lmax + 1), -1, dtype=np.int64)
+    out[:, : nodes.shape[1]] = nodes
+    for i in broken:
+        r = detours.get(int(i))
+        if r is None:
+            out[i, :] = -1  # unroutable: never enters the network
+            lengths[i] = 0
+        else:
+            out[i, :] = -1
+            out[i, : len(r)] = r
+            lengths[i] = len(r) - 1
+    return out, lengths, routable
+
+
 def simulate_batch(
     shape: tuple[int, ...],
     traffic: np.ndarray,
     *,
     inject: np.ndarray | None = None,
     max_cycles: int = 10_000,
+    router: str = "dimension",
+    node_ok=None,
+    edge_ok=None,
+    classes: np.ndarray | None = None,
+    credits: int = 0,
 ) -> SimResult:
     """Vectorized twin of :func:`repro.sim.engine.simulate`.
 
-    Same signature, same semantics, identical :class:`SimResult` field for
-    field — only the wall clock differs.
+    Same signature, same semantics — routers, health predicates, QoS
+    classes and credit flow control included — and an identical
+    :class:`SimResult` field for field; only the wall clock differs.
     """
-    nodes, lengths = routes_batch(shape, traffic)
+    nodes, lengths, routable = build_routes_batch(
+        shape, traffic, router=router, node_ok=node_ok, edge_ok=edge_ok
+    )
     m = len(nodes)
     size = CoordCodec(shape).size
+    if classes is None:
+        cls = np.zeros(m, dtype=np.int64)
+    else:
+        cls = np.asarray(classes, dtype=np.int64)
+        if cls.shape != (m,):
+            raise ValueError(f"classes shape {cls.shape} != ({m},)")
+        if m and cls.min() < 0:
+            raise ValueError("classes must be >= 0")
+    if credits < 0:
+        raise ValueError("credits must be >= 0 (0 = unlimited)")
+    num_classes = int(cls.max()) + 1 if m else 1
     if inject is None:
         start = np.zeros(m, dtype=np.int64)
     else:
@@ -129,15 +232,34 @@ def simulate_batch(
     links = nodes[:, :-1] * size + nodes[:, 1:] if m else np.empty((0, 0), np.int64)
 
     pos = np.zeros(m, dtype=np.int64)
-    done = lengths == 0  # self-addressed: delivered at injection, latency 0
+    # self-addressed: delivered at injection, latency 0 (unroutable rows
+    # also have length 0 but never deliver — mask them out)
+    done = (lengths == 0) & routable
     latencies = np.where(done, 0, -1).astype(np.int64)
+    entered = np.zeros(m, dtype=bool)
+    avail = np.full(num_classes, credits, dtype=np.int64) if credits else None
     cycles = 0
     max_queue = 0
-    while not done.all() and cycles < max_cycles:
-        live = np.flatnonzero(~done & (start <= cycles))
+    while not (done | ~routable).all() and cycles < max_cycles:
+        # Admission: arrivals whose scheduled cycle has come; with credit
+        # flow control each class admits in id order while its pool lasts.
+        candidates = routable & ~done & ~entered & (start <= cycles)
+        if avail is None:
+            entered |= candidates
+        elif candidates.any():
+            for c in range(num_classes):
+                if avail[c] <= 0:
+                    continue
+                ids = np.flatnonzero(candidates & (cls == c))[: avail[c]]
+                entered[ids] = True
+                avail[c] -= len(ids)
+        live = np.flatnonzero(entered & ~done)
         if len(live):
             wanted = links[live, pos[live]]
-            order = np.argsort(wanted, kind="stable")  # ties keep ascending id
+            # Grant each link to its lowest (class, id): primary key link,
+            # then class, then ascending live id — with one class this is
+            # exactly the historical stable argsort on the link id.
+            order = np.lexsort((live, cls[live], wanted))
             lk = wanted[order]
             first = np.flatnonzero(np.r_[True, lk[1:] != lk[:-1]])
             queue_depths = np.diff(np.r_[first, lk.size])
@@ -147,6 +269,9 @@ def simulate_batch(
             finished = winners[pos[winners] == lengths[winners]]
             done[finished] = True
             latencies[finished] = cycles + 1 - start[finished]
+            if avail is not None and len(finished):
+                # Credits released by deliveries feed next cycle's admission.
+                avail += np.bincount(cls[finished], minlength=num_classes)
         cycles += 1
     lat = latencies[done & (latencies >= 0)]
     return SimResult(
@@ -155,8 +280,9 @@ def simulate_batch(
         latencies=np.asarray(lat),
         cycles=cycles,
         max_queue=max_queue,
-        timed_out=int((~done).sum()),
+        timed_out=int((~done & routable).sum()),
         message_latencies=latencies,
+        undeliverable=int((~routable).sum()),
     )
 
 

@@ -119,6 +119,13 @@ class LoadGenConfig:
     pattern: str = "uniform"
     messages: int = 32
     seed: int = 0
+    #: Router the traffic queries ask the daemon for ("dimension" or
+    #: "adaptive" — see :mod:`repro.sim.routing`).
+    router: str = "dimension"
+    #: QoS classes / per-class credits forwarded with each traffic query
+    #: (defaults preserve the single-class unlimited-credit workload).
+    qos_classes: int = 1
+    credits: int = 0
 
 
 class LoadGenerator:
@@ -180,6 +187,9 @@ class LoadGenerator:
                         pattern=cfg.pattern,
                         messages=cfg.messages,
                         seed=rng.randrange(1 << 30),
+                        router=cfg.router,
+                        qos_classes=cfg.qos_classes,
+                        credits=cfg.credits,
                     )
         except (ConnectionError, protocol.ProtocolError, asyncio.IncompleteReadError):
             self.exceptions += 1
@@ -230,6 +240,9 @@ class LoadGenerator:
                 "pattern": cfg.pattern,
                 "messages": cfg.messages,
                 "seed": cfg.seed,
+                "router": cfg.router,
+                "qos_classes": cfg.qos_classes,
+                "credits": cfg.credits,
             },
             "totals": {
                 "requests": total,

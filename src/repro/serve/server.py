@@ -327,6 +327,9 @@ class ReproServer:
                 int(frame.get("seed", 0)),
                 live=bool(frame.get("live", True)),
                 max_cycles=int(frame.get("max_cycles", 10_000)),
+                router=str(frame.get("router", "dimension")),
+                qos_classes=int(frame.get("qos_classes", 1)),
+                credits=int(frame.get("credits", 0)),
             )
         if op == "telemetry":
             return self._telemetry_snapshot(

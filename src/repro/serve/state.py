@@ -219,14 +219,23 @@ class MachineState:
         *,
         live: bool = True,
         max_cycles: int = 10_000,
+        router: str = "dimension",
+        qos_classes: int = 1,
+        credits: int = 0,
     ) -> dict:
         """Route one seeded workload through the machine; returns stats.
 
         On ``bn`` with ``live=True`` (the default) every route is walked
         through the *current* embedding against the live fault set;
         messages crossing a broken host element count ``undeliverable``
-        and the rest are simulated on the vectorized kernel.  Elsewhere the
-        pristine guest torus is served (recovery re-embeds it whole).
+        and the rest are simulated on the vectorized kernel.  With
+        ``router="adaptive"`` broken e-cube routes are instead detoured
+        around the live fault set, so only disconnected endpoints stay
+        undeliverable.  ``qos_classes``/``credits`` enable priority
+        arbitration and credit flow control exactly as in
+        :class:`~repro.api.protocol.TrafficSpec`.  Constructions without
+        the bn incremental machinery serve their pristine guest torus
+        (recovery re-embeds it whole).
         """
         c = self.construction
         if not hasattr(c, "guest_shape"):
@@ -234,23 +243,55 @@ class MachineState:
                 f"construction {self.construction_key!r} has no torus guest "
                 "(no traffic capability)"
             )
+        from repro.api.traffic import message_classes
         from repro.fastpath.traffic_batch import routes_batch, simulate_batch
+        from repro.sim.routing import ROUTERS
 
+        if router not in ROUTERS:
+            raise ValueError(f"unknown router {router!r}; options: {ROUTERS}")
         guest = tuple(int(s) for s in c.guest_shape())
         rng = spawn_rng(int(seed), "serve-traffic", pattern)
         traffic = make_traffic(guest, pattern, int(messages), rng)
+        # Classes are assigned by original message id, before any
+        # deliverability filtering, so a message keeps its class no matter
+        # which router or fault set it meets.
+        classes = message_classes(len(traffic), int(qos_classes))
         live_path = bool(live) and self._online is not None
-        if live_path:
+        lengths = None
+        if live_path and router == "adaptive":
+            from repro.fastpath.traffic_batch import build_routes_batch
+            from repro.sim.routing import embedded_predicates
+
+            g_ok, ge_ok = embedded_predicates(
+                self._online.recovery.phi, self._flat, c.torus.bn.is_adjacent
+            )
+            result = simulate_batch(
+                guest, traffic, max_cycles=max_cycles, router="adaptive",
+                node_ok=g_ok, edge_ok=ge_ok, classes=classes, credits=credits,
+            )
+            undeliverable = result.undeliverable
+            # Detoured routes are longer than e-cube — measure what ran.
+            _, lengths, _ = build_routes_batch(
+                guest, traffic, router="adaptive", node_ok=g_ok, edge_ok=ge_ok
+            )
+        elif live_path:
             from repro.sim.lifetime_traffic import route_health_mask
 
             deliverable = route_health_mask(
                 guest, traffic, self._online.recovery.phi, self._flat,
                 c.torus.bn.is_adjacent,
             )
-            result = simulate_batch(guest, traffic[deliverable], max_cycles=max_cycles)
+            result = simulate_batch(
+                guest, traffic[deliverable], max_cycles=max_cycles,
+                classes=None if classes is None else classes[deliverable],
+                credits=credits,
+            )
             undeliverable = int((~deliverable).sum())
         else:
-            result = simulate_batch(guest, traffic, max_cycles=max_cycles)
+            result = simulate_batch(
+                guest, traffic, max_cycles=max_cycles,
+                classes=classes, credits=credits,
+            )
             undeliverable = 0
         stats = latency_stats(result)
         stats["offered"] = int(len(traffic))
@@ -258,11 +299,21 @@ class MachineState:
         stats["cycles"] = int(result.cycles)
         stats["max_queue"] = int(result.max_queue)
         stats["live"] = live_path
+        if router != "dimension":
+            stats["router"] = router
+        if classes is not None:
+            from repro.sim.metrics import per_class_stats
+
+            run_classes = classes
+            if live_path and router != "adaptive":
+                run_classes = classes[deliverable]
+            stats["per_class"] = per_class_stats(result, run_classes)
         # Utilization: busy link-cycles of delivered messages over the
         # guest's directed-link capacity for the run's span.
-        _, lengths = routes_batch(guest, traffic)
-        if live_path:
-            lengths = lengths[deliverable]
+        if lengths is None:
+            _, lengths = routes_batch(guest, traffic)
+            if live_path:
+                lengths = lengths[deliverable]
         delivered_mask = result.message_latencies >= 0
         hops = int(lengths[delivered_mask].sum()) if len(lengths) else 0
         links = int(np.prod(guest)) * 2 * len(guest)
@@ -455,6 +506,11 @@ def scripted_session(
         queries = (
             {"pattern": "uniform", "messages": 40, "seed": 1},
             {"pattern": "transpose", "messages": 32, "seed": 2},
+            # The adaptive/QoS service path, pinned by the same golden:
+            # detoured routing around the live fault set with two priority
+            # classes under credit flow control.
+            {"pattern": "uniform", "messages": 40, "seed": 1,
+             "router": "adaptive", "qos_classes": 2, "credits": 8},
         )
     state = MachineState("golden", construction, params)
     applied = [
@@ -463,7 +519,10 @@ def scripted_session(
     ]
     query_stats = [
         state.traffic_query(
-            q["pattern"], q["messages"], q["seed"], live=q.get("live", True)
+            q["pattern"], q["messages"], q["seed"], live=q.get("live", True),
+            router=q.get("router", "dimension"),
+            qos_classes=q.get("qos_classes", 1),
+            credits=q.get("credits", 0),
         )
         for q in queries
     ]

@@ -7,7 +7,14 @@ throughput, demonstrating that recovery preserves the torus's communication
 properties exactly (dilation-1 embedding => identical hop counts).
 """
 
-from repro.sim.routing import dimension_ordered_route, route_length
+from repro.sim.routing import (
+    ROUTERS,
+    adaptive_route,
+    dimension_ordered_route,
+    embedded_predicates,
+    fault_predicates,
+    route_length,
+)
 from repro.sim.traffic import (
     TRAFFIC_PATTERNS,
     bitreverse_index,
@@ -16,11 +23,16 @@ from repro.sim.traffic import (
     transpose_index,
 )
 from repro.sim.engine import SimResult, simulate
-from repro.sim.metrics import latency_stats
+from repro.sim.metrics import latency_stats, per_class_stats
 from repro.sim.workload import INJECTIONS, make_open_loop, open_loop_stats, saturation_sweep
 
 __all__ = [
+    "ROUTERS",
+    "adaptive_route",
     "dimension_ordered_route",
+    "embedded_predicates",
+    "fault_predicates",
+    "per_class_stats",
     "route_length",
     "TRAFFIC_PATTERNS",
     "INJECTIONS",

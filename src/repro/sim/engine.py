@@ -1,10 +1,35 @@
 """Synchronous store-and-forward simulation on the (recovered) torus.
 
 One message occupies one link per cycle; each directed link forwards one
-message per cycle (deterministic lowest-id-first arbitration).  Messages
-follow precomputed dimension-ordered routes.  This is deliberately simple — enough to show
-latency/throughput *shape* and that recovered tori behave identically to
-pristine ones (the embedding has dilation 1).
+message per cycle (deterministic highest-priority-then-lowest-id
+arbitration).  Messages follow precomputed routes from a selectable
+router.  This is deliberately simple — enough to show latency/throughput
+*shape* and that recovered tori behave identically to pristine ones (the
+embedding has dilation 1).
+
+Routers
+-------
+``router="dimension"`` (default) is the static e-cube route; with health
+predicates given, a message whose static route crosses a broken element
+is counted ``undeliverable``.  ``router="adaptive"`` detours around the
+live fault set (:func:`repro.sim.routing.adaptive_route`): only messages
+whose endpoints are disconnected in the live fault graph stay
+undeliverable.  Undeliverable messages never enter the network; they
+keep a ``-1`` sentinel in ``message_latencies`` and are counted in
+``SimResult.undeliverable`` — separately from ``timed_out``.
+
+QoS classes and credit flow control
+-----------------------------------
+``classes`` assigns each message a priority class (0 = highest).  Link
+arbitration grants each contended link to the live message with the
+lowest ``(class, id)`` — with a single class this reduces to the
+historical lowest-id rule, decision for decision.  ``credits > 0``
+switches on credit-based flow control: each class owns a pool of
+``credits`` network entries; a message consumes one credit when it
+enters the network and releases it on delivery, and injection is
+deferred (in id order per class) while the pool is empty.  Latency is
+measured from the *scheduled* injection cycle, so source queueing under
+backpressure is visible in the numbers.  See docs/routing.md.
 
 Injection models
 ----------------
@@ -13,7 +38,7 @@ benchmarks historically used).  ``simulate(..., inject=times)`` runs the
 same engine open-loop: message ``i`` enters the network at cycle
 ``times[i]`` and its latency is measured from that cycle.  Self-addressed
 messages (``src == dst``) never enter the network — they are delivered at
-injection with latency 0 and consume no link bandwidth.
+injection with latency 0 and consume no link bandwidth or credits.
 
 This scalar engine is the reference semantics; the vectorized twin
 (:func:`repro.fastpath.traffic_batch.simulate_batch`) reproduces its
@@ -28,7 +53,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.sim.routing import dimension_ordered_route
+from repro.sim.routing import (
+    ROUTERS,
+    adaptive_route,
+    dimension_ordered_route,
+    route_is_healthy,
+)
 
 __all__ = ["SimResult", "simulate"]
 
@@ -54,6 +84,12 @@ class SimResult:
     #: (:func:`repro.sim.workload.open_loop_stats`) needs the alignment
     #: with the injection schedule that only the full array provides.
     message_latencies: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    #: Messages the router could not route at all on the live fault graph
+    #: (static route broken under ``router="dimension"``, endpoints
+    #: disconnected under ``"adaptive"``).  Never counted in
+    #: ``timed_out`` — these were refused at the door, not stranded by
+    #: the horizon.
+    undeliverable: int = 0
 
     @property
     def throughput(self) -> float:
@@ -68,20 +104,65 @@ class SimResult:
         return self.delivered / self.cycles if self.cycles else float(self.delivered)
 
 
+def _build_routes(shape, traffic, router, node_ok, edge_ok):
+    """Per-message route list; ``None`` entries are undeliverable."""
+    if router not in ROUTERS:
+        raise ValueError(f"unknown router {router!r}; options: {ROUTERS}")
+    routes: list = []
+    for s, d in traffic:
+        r = dimension_ordered_route(shape, int(s), int(d))
+        if node_ok is None and edge_ok is None:
+            routes.append(r)
+        elif route_is_healthy(r, node_ok, edge_ok):
+            routes.append(r)
+        elif router == "adaptive":
+            routes.append(
+                adaptive_route(shape, int(s), int(d), node_ok=node_ok, edge_ok=edge_ok)
+            )
+        else:
+            routes.append(None)
+    return routes
+
+
+def _check_classes(classes, m, credits):
+    """Validated per-message class array (always present, default all-0)."""
+    if classes is None:
+        cls = np.zeros(m, dtype=np.int64)
+    else:
+        cls = np.asarray(classes, dtype=np.int64)
+        if cls.shape != (m,):
+            raise ValueError(f"classes shape {cls.shape} != ({m},)")
+        if m and cls.min() < 0:
+            raise ValueError("classes must be >= 0")
+    if credits < 0:
+        raise ValueError("credits must be >= 0 (0 = unlimited)")
+    return cls
+
+
 def simulate(
     shape: tuple[int, ...],
     traffic: np.ndarray,
     *,
     inject: np.ndarray | None = None,
     max_cycles: int = 10_000,
+    router: str = "dimension",
+    node_ok=None,
+    edge_ok=None,
+    classes: np.ndarray | None = None,
+    credits: int = 0,
 ) -> SimResult:
     """Run all (src, dst) messages to completion (or ``max_cycles``).
 
     ``inject`` — optional per-message injection cycles (default: all 0,
     the closed-loop batch).  A message is eligible to cross its first link
     during cycle ``inject[i]`` and its latency counts from that cycle.
+    ``router``/``node_ok``/``edge_ok`` select fault-aware routing,
+    ``classes``/``credits`` QoS arbitration and credit flow control (see
+    the module docstring).
     """
-    routes = [dimension_ordered_route(shape, int(s), int(d)) for s, d in traffic]
+    routes = _build_routes(shape, traffic, router, node_ok, edge_ok)
+    cls = _check_classes(classes, len(routes), credits)
+    num_classes = int(cls.max()) + 1 if len(cls) else 1
     # message state: position index into its route
     pos = np.zeros(len(routes), dtype=np.int64)
     if inject is None:
@@ -94,26 +175,40 @@ def simulate(
             raise ValueError("inject cycles must be >= 0")
     done = np.zeros(len(routes), dtype=bool)
     latencies = np.full(len(routes), -1, dtype=np.int64)
-    # per-directed-link FIFO of message ids wanting to cross it this cycle
+    avail = [credits] * num_classes if credits else None
     cycles = 0
     max_queue = 0
-    live = []
-    pending = []
+    undeliverable = 0
+    live: list[int] = []
+    pending: list[int] = []
     for i, r in enumerate(routes):
-        if len(r) <= 1:
+        if r is None:
+            undeliverable += 1
+        elif len(r) <= 1:
             # Self-addressed: delivered at injection, latency 0, no link use.
             done[i] = True
             latencies[i] = 0
-        elif start[i] == 0:
-            live.append(i)
         else:
             pending.append(i)
     while (live or pending) and cycles < max_cycles:
         if pending:
+            # Admission: arrivals whose scheduled cycle has come, in id
+            # order; with credit flow control each class admits only while
+            # its pool has credits — the rest wait at the source.
             arrived = [i for i in pending if start[i] <= cycles]
             if arrived:
-                pending = [i for i in pending if start[i] > cycles]
-                live = sorted(set(live) | set(arrived))
+                if avail is None:
+                    admitted = arrived
+                else:
+                    admitted = []
+                    for i in arrived:
+                        if avail[cls[i]] > 0:
+                            avail[cls[i]] -= 1
+                            admitted.append(i)
+                if admitted:
+                    taken = set(admitted)
+                    pending = [i for i in pending if start[i] > cycles or i not in taken]
+                    live = sorted(set(live) | taken)
         wants: dict[tuple[int, int], list] = defaultdict(list)
         for i in live:
             r = routes[i]
@@ -121,18 +216,23 @@ def simulate(
             wants[link].append(i)
         nxt_live = []
         for link, q in wants.items():
-            # Arbitration invariant: lowest message id wins the link this
-            # cycle.  ``live`` is kept sorted, so each queue is built in
-            # ascending id order already; the explicit sort normalises the
-            # invariant instead of leaning on the iteration order of ``live``
-            # (a no-op O(Q) pass when the invariant holds).
-            q.sort()
+            # Arbitration invariant: the lowest (class, id) wins the link
+            # this cycle — with a single class, exactly the historical
+            # lowest-message-id rule.  ``live`` is kept sorted, so each
+            # queue is built in ascending id order already; the explicit
+            # sort normalises the invariant instead of leaning on the
+            # iteration order of ``live``.
+            q.sort(key=lambda i: (cls[i], i))
             max_queue = max(max_queue, len(q))
             winner = q[0]
             pos[winner] += 1
             if pos[winner] == len(routes[winner]) - 1:
                 done[winner] = True
                 latencies[winner] = cycles + 1 - start[winner]
+                if avail is not None:
+                    # Credit released by this delivery is available to the
+                    # next cycle's admission pass.
+                    avail[cls[winner]] += 1
             else:
                 nxt_live.append(winner)
             nxt_live.extend(q[1:])  # losers retry next cycle
@@ -148,6 +248,7 @@ def simulate(
         latencies=np.asarray(lat),
         cycles=cycles,
         max_queue=max_queue,
-        timed_out=int((~done).sum()),
+        timed_out=int((~done).sum()) - undeliverable,
         message_latencies=latencies,
+        undeliverable=undeliverable,
     )

@@ -94,6 +94,7 @@ def lifetime_traffic_snapshots(
     max_cycles: int = 10_000,
     strategy: str = "auto",
     live_traffic: bool = False,
+    router: str = "dimension",
 ) -> dict:
     """Run one lifetime trial, verifying service at each checkpoint.
 
@@ -104,10 +105,18 @@ def lifetime_traffic_snapshots(
     through the embedding against the live fault set (undeliverable
     messages counted, the rest re-simulated) and ``matches_pristine``
     requires zero undeliverable plus measured-stats equality with the
-    pristine run.  Checkpoints beyond the trial's lifetime are reported as
+    pristine run.  ``router="adaptive"`` (live snapshots only) lets the
+    simulator detour each broken e-cube route around the live fault set
+    instead of refusing the message — ``undeliverable`` then counts only
+    messages whose endpoints are disconnected on the aged machine.
+    Checkpoints beyond the trial's lifetime are reported as
     ``"reached": False`` entries.  Returns ``{"lifetime", "pristine",
     "snapshots"}``.
     """
+    from repro.sim.routing import ROUTERS
+
+    if router not in ROUTERS:
+        raise ValueError(f"unknown router {router!r}; options: {ROUTERS}")
     n, d = bt.params.n, bt.params.d
     guest_shape = (n,) * d
     traffic = make_traffic(
@@ -142,14 +151,32 @@ def lifetime_traffic_snapshots(
             # exact for healthy mapped routes — dilation 1).
             from repro.fastpath.traffic_batch import simulate_batch
 
-            deliverable = route_health_mask(
-                guest_shape, traffic, online.recovery.phi, fault_flat,
-                bt.bn.is_adjacent,
-            )
-            stats = latency_stats(
-                simulate_batch(guest_shape, traffic[deliverable], max_cycles=max_cycles)
-            )
-            stats["undeliverable"] = int((~deliverable).sum())
+            if router == "adaptive":
+                # Route *around* the live fault set: each broken e-cube
+                # route is replaced by a healthy detour through the same
+                # embedding, so only disconnected endpoints stay refused.
+                from repro.sim.routing import embedded_predicates
+
+                g_ok, ge_ok = embedded_predicates(
+                    online.recovery.phi, fault_flat, bt.bn.is_adjacent
+                )
+                result = simulate_batch(
+                    guest_shape, traffic, max_cycles=max_cycles,
+                    router="adaptive", node_ok=g_ok, edge_ok=ge_ok,
+                )
+                stats = latency_stats(result)
+                stats["undeliverable"] = result.undeliverable
+            else:
+                deliverable = route_health_mask(
+                    guest_shape, traffic, online.recovery.phi, fault_flat,
+                    bt.bn.is_adjacent,
+                )
+                stats = latency_stats(
+                    simulate_batch(
+                        guest_shape, traffic[deliverable], max_cycles=max_cycles
+                    )
+                )
+                stats["undeliverable"] = int((~deliverable).sum())
             # json round makes NaN == NaN (both sides computed identically).
             matches = (
                 verified

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.sim.engine import SimResult
 
-__all__ = ["latency_stats"]
+__all__ = ["latency_stats", "per_class_stats"]
 
 
 def latency_stats(result: SimResult) -> dict:
@@ -33,3 +33,44 @@ def latency_stats(result: SimResult) -> dict:
         "max": int(lat.max()),
         "throughput": result.throughput,
     }
+
+
+def per_class_stats(
+    result: SimResult,
+    classes: np.ndarray,
+    *,
+    measured: np.ndarray | None = None,
+) -> list[dict]:
+    """Per-QoS-class delivery and latency summary, one dict per class.
+
+    ``classes`` is the per-message class array the engine ran with
+    (aligned with ``result.message_latencies``); ``measured`` optionally
+    restricts to the open-loop measurement window (messages injected at
+    or after warmup).  Classes are reported ``0..max`` even when a class
+    delivered nothing — the JSON row then carries NaN latencies, never a
+    silent omission.
+    """
+    classes = np.asarray(classes, dtype=np.int64)
+    lat = result.message_latencies
+    if classes.shape != lat.shape:
+        raise ValueError(f"classes shape {classes.shape} != {lat.shape}")
+    if measured is None:
+        measured = np.ones(len(lat), dtype=bool)
+    rows = []
+    for c in range(int(classes.max()) + 1 if len(classes) else 0):
+        in_class = measured & (classes == c)
+        got = lat[in_class & (lat >= 0)]
+        empty = len(got) == 0
+        rows.append(
+            {
+                "qos_class": c,
+                "offered": int(in_class.sum()),
+                "delivered": int(len(got)),
+                "timed_out": int((in_class & (lat < 0)).sum()),
+                "mean": float("nan") if empty else float(got.mean()),
+                "p50": float("nan") if empty else float(np.percentile(got, 50)),
+                "p99": float("nan") if empty else float(np.percentile(got, 99)),
+                "max": float("nan") if empty else float(got.max()),
+            }
+        )
+    return rows

@@ -1,18 +1,50 @@
-"""Dimension-ordered (e-cube) routing on the ``n^d`` torus.
+"""Routing on the ``n^d`` torus: dimension-ordered and fault-adaptive.
 
-Routes go dimension by dimension, always taking the shorter way around
-each cycle (ties break toward +).  On a torus this is minimal and
-deadlock-orderable — the standard choice for mesh/torus machines of the
-paper's era.
+Two routers (see docs/routing.md for the full algorithm and
+deadlock-freedom notes):
+
+* ``dimension`` — the classic e-cube route: dimension by dimension,
+  always the shorter way around each cycle (ties break toward +).
+  Minimal and deadlock-orderable — the standard choice for mesh/torus
+  machines of the paper's era — but *static*: on an aged machine a route
+  crossing a live fault simply cannot be used.
+* ``adaptive`` — fault-aware: the e-cube route is used verbatim whenever
+  every element it touches is healthy (so on a fault-free machine the
+  two routers are *identical*, route for route), and otherwise a
+  minimal-length detour is computed by breadth-first search over the
+  healthy subgraph, expanding neighbours in weighted dimension order
+  (lowest axis first, + before −) so detours are deterministic and
+  shadow the e-cube escape order.  Only a source/destination pair that
+  is genuinely disconnected in the live fault graph remains unroutable.
+
+Health is expressed through two vectorized predicates so the same router
+serves both the plain "guest torus with its own fault mask" case
+(:func:`fault_predicates`) and the embedded case where guest routes must
+map onto healthy host elements through ``phi``
+(:func:`embedded_predicates`).
 """
 
 from __future__ import annotations
+
+from typing import Callable
 
 import numpy as np
 
 from repro.topology.coords import CoordCodec
 
-__all__ = ["dimension_ordered_route", "route_length", "all_pairs_mean_distance"]
+__all__ = [
+    "ROUTERS",
+    "adaptive_route",
+    "all_pairs_mean_distance",
+    "dimension_ordered_route",
+    "embedded_predicates",
+    "fault_predicates",
+    "route_is_healthy",
+    "route_length",
+]
+
+#: Router names understood by the engines and :class:`~repro.api.protocol.TrafficSpec`.
+ROUTERS = ("dimension", "adaptive")
 
 
 def _axis_step(src: int, dst: int, n: int) -> int:
@@ -49,6 +81,142 @@ def route_length(shape: tuple[int, ...], src: int, dst: int) -> int:
         d = int(abs(a[axis] - b[axis]))
         total += min(d, n - d)
     return total
+
+
+def fault_predicates(
+    fault_flat: np.ndarray,
+) -> tuple[Callable, Callable]:
+    """``(node_ok, edge_ok)`` for a guest torus carrying its own fault mask.
+
+    A node is usable iff not faulty; a (torus-adjacent) edge is usable iff
+    both endpoints are.  Both predicates are vectorized over flat index
+    arrays — the form every router and engine in this module consumes.
+    """
+    fault_flat = np.asarray(fault_flat, dtype=bool).ravel()
+
+    def node_ok(ids):
+        return ~fault_flat[np.asarray(ids, dtype=np.int64)]
+
+    def edge_ok(us, vs):
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        return ~fault_flat[us] & ~fault_flat[vs]
+
+    return node_ok, edge_ok
+
+
+def embedded_predicates(
+    phi: np.ndarray,
+    fault_flat: np.ndarray,
+    is_adjacent: Callable,
+) -> tuple[Callable, Callable]:
+    """``(node_ok, edge_ok)`` for guest routes mapped through an embedding.
+
+    Guest node ``g`` is usable iff its host image ``phi[g]`` is healthy;
+    guest edge ``(u, v)`` iff the host images are adjacent *and* both
+    healthy — exactly the per-element check of
+    :func:`repro.sim.lifetime_traffic.route_health_mask`, packaged as
+    predicates so the adaptive router can detour in guest space while
+    every hop it commits to is a healthy host edge.
+    """
+    phi = np.asarray(phi, dtype=np.int64).ravel()
+    fault_flat = np.asarray(fault_flat, dtype=bool).ravel()
+
+    def node_ok(ids):
+        return ~fault_flat[phi[np.asarray(ids, dtype=np.int64)]]
+
+    def edge_ok(us, vs):
+        hu = phi[np.asarray(us, dtype=np.int64)]
+        hv = phi[np.asarray(vs, dtype=np.int64)]
+        return is_adjacent(hu, hv) & ~fault_flat[hu] & ~fault_flat[hv]
+
+    return node_ok, edge_ok
+
+
+def route_is_healthy(route: np.ndarray, node_ok, edge_ok) -> bool:
+    """Every node and every hop of ``route`` passes the predicates."""
+    route = np.asarray(route, dtype=np.int64)
+    if node_ok is not None and not bool(np.all(node_ok(route))):
+        return False
+    if edge_ok is not None and len(route) > 1:
+        return bool(np.all(edge_ok(route[:-1], route[1:])))
+    return True
+
+
+def _torus_neighbors(codec: CoordCodec, node: int) -> list[int]:
+    """Neighbours of ``node`` in weighted dimension order: axis 0 before
+    axis 1, + before −.  This is the escape order the adaptive detour
+    search expands in, so its BFS tree shadows e-cube's axis priority."""
+    coords = codec.unravel(np.int64(node))
+    out = []
+    for axis, n in enumerate(codec.shape):
+        stride = int(codec.strides[axis])
+        c = int(coords[axis])
+        for step in (+1, -1):
+            nc = (c + step) % n
+            if nc == c:  # n == 1: no move on this axis
+                continue
+            out.append(int(node) + (nc - c) * stride)
+    return out
+
+
+def adaptive_route(
+    shape: tuple[int, ...],
+    src: int,
+    dst: int,
+    *,
+    node_ok=None,
+    edge_ok=None,
+) -> np.ndarray | None:
+    """Fault-adaptive route from ``src`` to ``dst``; ``None`` if disconnected.
+
+    The dimension-ordered route is used verbatim whenever it is healthy
+    under the predicates — in particular, with no predicates (or no live
+    faults) this router is *identical* to :func:`dimension_ordered_route`.
+    Otherwise a minimal detour is found by BFS over the healthy subgraph,
+    expanding neighbours in weighted dimension order (axis 0 first, +
+    before −), which makes the detour deterministic and minimal in hop
+    count among healthy paths.  Returns ``None`` exactly when ``src`` and
+    ``dst`` lie in different components of the live fault graph (or an
+    endpoint itself is broken) — the only messages that stay
+    undeliverable under adaptive routing.
+    """
+    base = dimension_ordered_route(shape, src, dst)
+    if node_ok is None and edge_ok is None:
+        return base
+    if route_is_healthy(base, node_ok, edge_ok):
+        return base
+    codec = CoordCodec(shape)
+    src, dst = int(src), int(dst)
+    if node_ok is not None and not (
+        bool(node_ok(np.array([src]))[0]) and bool(node_ok(np.array([dst]))[0])
+    ):
+        return None
+    # BFS in escape order over the healthy subgraph: parent pointers give
+    # the (deterministic) minimal healthy path.
+    parent = {src: src}
+    frontier = [src]
+    while frontier and dst not in parent:
+        nxt: list[int] = []
+        for u in frontier:
+            for v in _torus_neighbors(codec, u):
+                if v in parent:
+                    continue
+                if node_ok is not None and not bool(node_ok(np.array([v]))[0]):
+                    continue
+                if edge_ok is not None and not bool(
+                    edge_ok(np.array([u]), np.array([v]))[0]
+                ):
+                    continue
+                parent[v] = u
+                nxt.append(v)
+        frontier = nxt
+    if dst not in parent:
+        return None
+    path = [dst]
+    while path[-1] != src:
+        path.append(parent[path[-1]])
+    return np.array(path[::-1], dtype=np.int64)
 
 
 def all_pairs_mean_distance(shape: tuple[int, ...]) -> float:

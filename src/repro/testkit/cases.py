@@ -15,6 +15,7 @@ __all__ = [
     "ADVERSARY_PATTERN_NAMES",
     "BN_PARAM_SETS",
     "NON_POW2_SHAPES",
+    "ROUTER_NAMES",
     "SMALL_CONSTRUCTIONS",
     "TRAFFIC_PATTERN_NAMES",
     "UNIVERSAL_SHAPES",
@@ -46,6 +47,9 @@ ADVERSARY_PATTERN_NAMES = ("cluster", "cols", "diagonal", "random", "residue", "
 #: Traffic pattern names (mirrors repro.sim.traffic.TRAFFIC_PATTERNS;
 #: same sync test).
 TRAFFIC_PATTERN_NAMES = ("bitreverse", "hotspot", "neighbor", "transpose", "uniform")
+
+#: Router names (mirrors repro.sim.routing.ROUTERS; same sync test).
+ROUTER_NAMES = ("dimension", "adaptive")
 
 #: One small parameterisation per registry entry — what a conformance
 #: sweep over "every construction" instantiates.  (alon_chung has no

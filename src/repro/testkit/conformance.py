@@ -10,8 +10,10 @@ stack over a canonical scenario matrix:
 3. per-trial backend oracles — the vectorized kernels against the
    scalar loops, outcome for outcome;
 4. the repair-mode oracle — incremental vs full-recompute lifetimes;
-5. the independent reference checkers — BFS route validity,
-   embedding-vs-host audit, brute-force healthiness.
+5. the independent reference checkers — BFS route validity, adaptive
+   routing vs healthy-subgraph reachability (plus the engines diffed
+   under QoS/credit knobs on a seeded fault mask), embedding-vs-host
+   audit, brute-force healthiness.
 
 ``quick=True`` is the CI tier: the same oracles on a reduced seed/shape
 matrix (the historical hand-rolled byte-identity smoke steps, unified).
@@ -30,6 +32,7 @@ from repro.api.experiment import ExperimentSpec
 from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
 from repro.testkit.oracles import (
     OracleReport,
+    adaptive_router_oracle,
     audit_embedding,
     check_routes_bfs,
     healthiness_oracle,
@@ -63,6 +66,8 @@ def _runner_specs(quick: bool) -> list[ExperimentSpec]:
                 TrafficSpec(pattern="transpose", messages=48),
                 TrafficSpec(pattern="uniform", injection="bernoulli", rate=0.02,
                             cycles=40, warmup=10),
+                TrafficSpec(pattern="uniform", messages=48, router="adaptive",
+                            qos_classes=2, credits=6),
             ),
             trials=20, name="conf-bn-traffic",
         ),
@@ -150,6 +155,8 @@ def run_conformance(
         (bn, TrafficSpec(pattern="uniform", messages=60)),
         (bn, TrafficSpec(pattern="transpose", injection="periodic", rate=0.05,
                          cycles=30, warmup=5)),
+        (bn, TrafficSpec(pattern="uniform", messages=60, router="adaptive",
+                         qos_classes=3, credits=4)),
     ]
     if not quick:
         trial_matrix += [
@@ -158,6 +165,8 @@ def run_conformance(
             (bn, LifetimeSpec(max_steps=25)),
             (get("sparerows", n=10, sigma=4),
              TrafficSpec(pattern="hotspot", messages=80)),
+            (bn, TrafficSpec(pattern="hotspot", injection="bernoulli", rate=0.05,
+                             cycles=40, warmup=8, qos_classes=2, credits=12)),
         ]
     for construction, spec in trial_matrix:
         report = trial_backend_oracle(construction, spec, range(n_seeds))
@@ -172,6 +181,9 @@ def run_conformance(
 
     # 5. Independent reference checkers ------------------------------------
     shapes = [(6, 6), (4, 4)] if quick else [(6, 6), (4, 4), (2, 8), (5, 7), (2, 4, 8)]
+    from repro.api.traffic import message_classes
+    from repro.sim.routing import fault_predicates
+
     for shape in shapes:
         t = make_traffic(shape, "uniform", 12 if quick else 40,
                          spawn_rng(7, "conf-bfs", str(shape)))
@@ -180,6 +192,23 @@ def run_conformance(
         done(report)
         report = sim_engines_oracle(shape, t)
         report.oracle = f"sim-engines:{shape}"
+        done(report)
+        # The fault-adaptive service path on the same workload: a seeded
+        # fault mask (never the full torus), the router checked against
+        # independent BFS reachability, and both engines diffed with the
+        # QoS/credit knobs engaged.
+        size = int(np.prod(shape))
+        frng = spawn_rng(17, "conf-adaptive", str(shape))
+        fault_flat = frng.random(size) < 0.12
+        report = adaptive_router_oracle(shape, t, fault_flat)
+        report.oracle = f"adaptive-router:{shape}"
+        done(report)
+        n_ok, e_ok = fault_predicates(fault_flat)
+        report = sim_engines_oracle(
+            shape, t, router="adaptive", node_ok=n_ok, edge_ok=e_ok,
+            classes=message_classes(len(t), 2), credits=4,
+        )
+        report.oracle = f"sim-engines-adaptive:{shape}"
         done(report)
 
     params = BnParams(d=2, b=3, s=1, t=2)

@@ -26,6 +26,9 @@ correct method and diff it against the production implementation:
   scalar and batched checkers;
 * :func:`check_routes_bfs` — route validity against BFS distances on
   the torus adjacency;
+* :func:`adaptive_router_oracle` — fault-adaptive routes against BFS
+  reachability on the healthy subgraph (delivers iff connected, healthy
+  minimal paths, dimension-ordered identity when fault-free);
 * :func:`audit_embedding` — a claimed torus embedding re-checked edge
   by edge against the *materialised* host graph and fault set, not the
   codec predicates the production verifier uses.
@@ -50,6 +53,7 @@ from repro.api.protocol import LifetimeSpec, TrafficSpec
 __all__ = [
     "Mismatch",
     "OracleReport",
+    "adaptive_router_oracle",
     "audit_embedding",
     "brute_force_healthiness",
     "check_routes_bfs",
@@ -433,16 +437,150 @@ def sim_engines_oracle(
     *,
     inject: np.ndarray | None = None,
     max_cycles: int = 10_000,
+    router: str = "dimension",
+    node_ok=None,
+    edge_ok=None,
+    classes: np.ndarray | None = None,
+    credits: int = 0,
 ) -> OracleReport:
     """Scalar store-and-forward engine vs the vectorized kernel on one
-    concrete workload, diffed on the raw ``SimResult``."""
+    concrete workload, diffed on the raw ``SimResult``.
+
+    The routing / QoS knobs are forwarded to both engines verbatim, so
+    the oracle covers the adaptive router, health predicates, priority
+    classes and credit flow control with the same field-for-field
+    contract as the historical default path.
+    """
     from repro.fastpath.traffic_batch import simulate_batch
     from repro.sim.engine import simulate
 
+    kwargs = dict(
+        inject=inject, max_cycles=max_cycles, router=router,
+        node_ok=node_ok, edge_ok=edge_ok, classes=classes, credits=credits,
+    )
     report = OracleReport("sim-engines", ("scalar", "batch"), cases=1)
-    a = simulate(shape, traffic, inject=inject, max_cycles=max_cycles)
-    b = simulate_batch(shape, traffic, inject=inject, max_cycles=max_cycles)
+    a = simulate(shape, traffic, **kwargs)
+    b = simulate_batch(shape, traffic, **kwargs)
     report.mismatches += compare_sim_results(a, b)
+    return report
+
+
+def adaptive_router_oracle(
+    shape: tuple[int, ...],
+    traffic: np.ndarray,
+    fault_flat: np.ndarray | None = None,
+) -> OracleReport:
+    """Adaptive routes vs BFS reachability on the healthy subgraph.
+
+    For every (src, dst) message under the ``fault_flat`` node-fault
+    mask, :func:`repro.sim.routing.adaptive_route` must return
+
+    * ``None`` exactly when BFS over the healthy subgraph (computed here
+      from first principles with :func:`_torus_neighbors`) cannot reach
+      ``dst`` from ``src`` — never refusing a connected pair, never
+      inventing a path for a disconnected one;
+    * otherwise a path from ``src`` to ``dst`` along torus edges whose
+      nodes are all healthy and whose hop count equals the healthy-BFS
+      distance (the router is minimal on the surviving subgraph: a
+      healthy dimension-ordered route is minimal outright, and the
+      detour search is itself a BFS);
+    * with no faults at all, byte-for-byte the dimension-ordered route —
+      the identity that keeps pristine results router-independent.
+    """
+    from repro.sim.routing import (
+        adaptive_route,
+        dimension_ordered_route,
+        fault_predicates,
+    )
+
+    neighbors = _torus_neighbors(shape)
+    size = 1
+    for s in shape:
+        size *= int(s)
+    faulty = (
+        np.zeros(size, dtype=bool)
+        if fault_flat is None
+        else np.asarray(fault_flat, dtype=bool).ravel()
+    )
+    node_ok, edge_ok = fault_predicates(faulty)
+    pristine = not faulty.any()
+    report = OracleReport("adaptive-router", ("adaptive", "bfs"))
+    dist_cache: dict[int, np.ndarray] = {}
+
+    def healthy_bfs_from(src: int) -> np.ndarray:
+        if src not in dist_cache:
+            dist = np.full(size, -1, dtype=np.int64)
+            if not faulty[src]:
+                dist[src] = 0
+                q = deque([src])
+                while q:
+                    u = q.popleft()
+                    for v in neighbors(u):
+                        if dist[v] < 0 and not faulty[v]:
+                            dist[v] = dist[u] + 1
+                            q.append(v)
+            dist_cache[src] = dist
+        return dist_cache[src]
+
+    for i, (src, dst) in enumerate(np.asarray(traffic, dtype=np.int64)):
+        src, dst = int(src), int(dst)
+        report.cases += 1
+        at = f"message[{i}]"
+        route = adaptive_route(shape, src, dst, node_ok=node_ok, edge_ok=edge_ok)
+        want = int(healthy_bfs_from(src)[dst])
+        if route is None:
+            if want >= 0:
+                report.mismatches.append(
+                    Mismatch("adaptive-router", "adaptive", "bfs",
+                             f"{at}.deliverable", None, f"path of {want} hops")
+                )
+            continue
+        route = [int(x) for x in route]
+        if want < 0:
+            report.mismatches.append(
+                Mismatch("adaptive-router", "adaptive", "bfs",
+                         f"{at}.deliverable", f"path of {len(route) - 1} hops",
+                         "disconnected endpoints")
+            )
+            continue
+        if route[0] != src or route[-1] != dst:
+            report.mismatches.append(
+                Mismatch("adaptive-router", "adaptive", "bfs", f"{at}.endpoints",
+                         (route[0], route[-1]), (src, dst))
+            )
+            continue
+        bad_node = next((n for n in route if faulty[n]), None)
+        if bad_node is not None:
+            report.mismatches.append(
+                Mismatch("adaptive-router", "adaptive", "bfs", f"{at}.health",
+                         f"visits faulty node {bad_node}", "healthy path")
+            )
+            continue
+        bad_hop = next(
+            (h for h in range(len(route) - 1)
+             if route[h + 1] not in neighbors(route[h])),
+            None,
+        )
+        if bad_hop is not None:
+            report.mismatches.append(
+                Mismatch("adaptive-router", "adaptive", "bfs", f"{at}.hop[{bad_hop}]",
+                         f"{route[bad_hop]}->{route[bad_hop + 1]}",
+                         "not a torus edge")
+            )
+            continue
+        if len(route) - 1 != want:
+            report.mismatches.append(
+                Mismatch("adaptive-router", "adaptive", "bfs", f"{at}.hops",
+                         len(route) - 1, want)
+            )
+            continue
+        if pristine:
+            dim = [int(x) for x in dimension_ordered_route(shape, src, dst)]
+            if route != dim:
+                report.mismatches.append(
+                    Mismatch("adaptive-router", "adaptive", "dimension-ordered",
+                             f"{at}.fault-free-identity", route, dim)
+                )
     return report
 
 

@@ -31,6 +31,7 @@ from repro.testkit.cases import (
     ADVERSARY_PATTERN_NAMES,
     BN_PARAM_SETS,
     NON_POW2_SHAPES,
+    ROUTER_NAMES,
     SMALL_CONSTRUCTIONS,
     TRAFFIC_PATTERN_NAMES,
     UNIVERSAL_SHAPES,
@@ -42,6 +43,7 @@ __all__ = [
     "ADVERSARY_PATTERN_NAMES",
     "BN_PARAM_SETS",
     "NON_POW2_SHAPES",
+    "ROUTER_NAMES",
     "SMALL_CONSTRUCTIONS",
     "TRAFFIC_PATTERN_NAMES",
     "UNIVERSAL_SHAPES",
@@ -153,19 +155,34 @@ def traffic_specs(
     open_loop: bool | None = None,
     patterns: tuple = TRAFFIC_PATTERN_NAMES,
     max_messages: int = 200,
+    with_qos: bool | None = None,
 ) -> TrafficSpec:
     """A valid :class:`TrafficSpec` — closed-loop batch or open-loop.
 
     Open-loop draws keep ``warmup < cycles`` coherent by construction.
     Callers sweeping shapes should guard with :func:`patterns_for`
     (transpose/bitreverse raise on degenerate shapes — by design).
+    ``with_qos`` pins the router/QoS/credit knobs to their defaults
+    (``False``) or forces non-default draws (``True``); ``None`` draws
+    either, defaults weighted in so the historical spec space stays
+    covered.
     """
     pattern = draw(st.sampled_from(patterns))
     open_ = draw(st.booleans()) if open_loop is None else open_loop
     max_cycles = draw(st.sampled_from((5, 200, 10_000)))
+    qos = draw(st.booleans()) if with_qos is None else with_qos
+    if qos:
+        router = draw(st.sampled_from(ROUTER_NAMES))
+        qos_classes = draw(st.sampled_from((2, 3)))
+        credits = draw(st.sampled_from((0, 1, 4, 16)))
+    else:
+        router, qos_classes, credits = "dimension", 1, 0
     if not open_:
         messages = draw(st.integers(min_value=1, max_value=max_messages))
-        return TrafficSpec(pattern=pattern, messages=messages, max_cycles=max_cycles)
+        return TrafficSpec(
+            pattern=pattern, messages=messages, max_cycles=max_cycles,
+            router=router, qos_classes=qos_classes, credits=credits,
+        )
     injection = draw(st.sampled_from(("bernoulli", "periodic")))
     rate = draw(st.sampled_from((0.01, 0.05, 0.2)))
     cycles = draw(st.sampled_from((1, 13, 60)))
@@ -173,4 +190,5 @@ def traffic_specs(
     return TrafficSpec(
         pattern=pattern, injection=injection, rate=rate, cycles=cycles,
         warmup=warmup, max_cycles=max_cycles,
+        router=router, qos_classes=qos_classes, credits=credits,
     )

@@ -404,7 +404,11 @@ class TestDeterminism:
         a, b = scripted_session(), scripted_session()
         assert canonical(a) == canonical(b)
         assert a["digest"]["alive"] is True
-        assert a["telemetry"]["traffic"]["queries"] == 2
+        assert a["telemetry"]["traffic"]["queries"] == 3
+        # The scripted session's third query pins the adaptive/QoS path.
+        adaptive = a["queries"][2]
+        assert adaptive["router"] == "adaptive"
+        assert [row["qos_class"] for row in adaptive["per_class"]] == [0, 1]
 
 
 class TestTelemetryPrimitives:

@@ -97,10 +97,12 @@ class TestStrategies:
         strategies or the conformance matrix silently under-covers."""
         from repro.api.registry import available
         from repro.faults.adversary import ADVERSARY_PATTERNS
+        from repro.sim.routing import ROUTERS
         from repro.sim.traffic import TRAFFIC_PATTERNS
 
         assert set(tks.ADVERSARY_PATTERN_NAMES) == set(ADVERSARY_PATTERNS)
         assert set(tks.TRAFFIC_PATTERN_NAMES) == set(TRAFFIC_PATTERNS)
+        assert set(tks.ROUTER_NAMES) == set(ROUTERS)
         assert {name for name, _ in tks.SMALL_CONSTRUCTIONS} == set(available())
 
 
