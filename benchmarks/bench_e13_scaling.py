@@ -56,13 +56,16 @@ def test_e13_end_to_end_scaling(benchmark, report):
 
 
 #: The batch backend reaches sizes the scalar table never could: the
-#: largest entry is 12x the biggest scalar SIZES instance.  Survival
+#: largest entry is 27x the biggest scalar SIZES instance.  Survival
 #: *should* sag on the biggest rows — they scale n at fixed b, walking
-#: out of Theorem 2's b ~ log n regime; measuring that sag at 600k nodes
-#: is exactly what the scalar path was too slow to do.
+#: out of Theorem 2's b ~ log n regime; measuring that sag past a
+#: million host nodes is exactly what the scalar path was too slow to
+#: do.  The 1.35M row is the streaming-runner headline instance
+#: (bench_e21_streaming.py) riding the same sweep.
 BATCH_SIZES = SIZES + [
-    BnParams(d=2, b=5, s=2, t=4),   # 150 000 nodes
-    BnParams(d=2, b=5, s=2, t=8),   # 600 000 nodes
+    BnParams(d=2, b=5, s=2, t=4),    # 150 000 nodes
+    BnParams(d=2, b=5, s=2, t=8),    # 600 000 nodes
+    BnParams(d=2, b=5, s=2, t=12),   # 1 350 000 nodes
 ]
 
 

@@ -1,0 +1,375 @@
+"""E21 — million-scale streaming execution, and its CI gate.
+
+Exercises the bounded-memory streaming runner (ISSUE 8) at the scales the
+collect-then-merge execution path could not reach, and records the
+numbers in ``BENCH_streaming.json`` at the repo root.  The headline
+claims: a survival point on a **1.35-million-node** host and a
+**1-million-trial** bn Monte-Carlo both complete under a fixed
+``max_batch_bytes`` budget, with parent-process peak memory that does not
+grow with the trial count.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_e21_streaming.py`` — bench-suite integration
+  (full measurement, table artifact, regenerates ``BENCH_streaming.json``);
+* ``python benchmarks/bench_e21_streaming.py [--quick] [--check PATH]``
+  — the CI perf gate.  ``--quick`` replays three invariants in a couple
+  of seconds: (a) the streamed incremental merge is byte-identical to
+  the materialized collect-then-merge reference (including under a
+  starved sub-chunk budget), (b) ``tracemalloc`` peak for a large-trial
+  run under a tiny ``max_batch_bytes`` stays below a fixed ceiling and
+  does not scale with trials, (c) resume from a journal cut at every
+  chunk boundary reproduces the uninterrupted bytes.  ``--check``
+  additionally compares the measured peak against the committed
+  baseline.  Identity invariants are exact and machine-portable; the
+  memory gate is in bytes, which ``tracemalloc`` makes deterministic
+  enough to compare across runners with headroom.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+STREAMING_JSON = ROOT / "BENCH_streaming.json"
+
+#: Sub-chunk budget for the quick memory case.  Deliberately tiny: the
+#: 4096-trial chunks below would materialize ~10 MiB per chunk unsliced,
+#: so staying near 1 MiB proves the slicer is doing the bounding.
+QUICK_BUDGET = 1 * 1024 * 1024
+#: Ceiling on parent-process tracemalloc peak for the quick case: the
+#: reusable kernel buffer (<= QUICK_BUDGET) plus classifier temporaries
+#: and the per-chunk result dicts.  Observed ~3.5-4.6 MB; the same spec
+#: unsliced (64 MiB default budget) measures ~16 MB, so the ceiling sits
+#: squarely between "slicer working" and "slicer bypassed".
+QUICK_PEAK_LIMIT = 8 * QUICK_BUDGET
+#: Peak at 4x the trials may exceed the smaller run's peak by at most
+#: this factor.  The peak is set by the worst single chunk's transient
+#: scalar-fallback work (data-dependent, non-monotone in trials), so the
+#: ratio carries chunk-level variance; 2x is "flat modulo noise", while
+#: genuinely trial-proportional growth would measure 4x.
+TRIAL_GROWTH_LIMIT = 2.0
+#: --check tolerance on peak bytes vs the committed baseline.
+PEAK_TOLERANCE = 1.5
+
+#: Quick-case instance (small shape, many trials, big chunks).  Both
+#: trial counts use the same chunk_size: per-chunk state is O(chunk) by
+#: design, so equal chunks isolate what the gate is really asserting —
+#: that *total* trials never enter the memory equation.
+QUICK_BN = dict(d=2, b=3, s=1, t=2)  # 1 944 host nodes
+QUICK_TRIALS_SMALL = 2_048
+QUICK_TRIALS_LARGE = 8_192
+QUICK_CHUNK = 2_048
+
+#: Full-mode instances.
+MILLION_NODE_BN = dict(d=2, b=5, s=2, t=12)  # 1 350 000 host nodes
+MILLION_TRIAL_BN = QUICK_BN
+MILLION_TRIALS = 1_000_000
+MILLION_TRIAL_CHUNK = 8_192
+MILLION_BUDGET = 8 * 1024 * 1024
+
+
+def _quick_identity_spec():
+    from repro.api import ExperimentSpec, FaultSpec
+
+    return ExperimentSpec(
+        construction="bn", params=QUICK_BN,
+        grid=(FaultSpec(p=1e-3), FaultSpec(p=0.01, q=1e-3)),
+        trials=20, chunk_size=7, name="e21-identity",
+    )
+
+
+def _traced_run(spec, max_batch_bytes, **run_kw):
+    """Run ``spec`` serially and return (result, peak_bytes, seconds).
+
+    Serial (workers=1) execution is the conservative measurement: the
+    kernels run *in the parent*, so the traced peak covers both the fold
+    state and the sub-chunk buffers the budget is supposed to bound.
+    """
+    from repro.api import ExperimentRunner
+
+    runner = ExperimentRunner(workers=1, max_batch_bytes=max_batch_bytes)
+    gc.collect()
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    result = runner.run(spec, **run_kw)
+    seconds = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, peak, seconds
+
+
+def _memory_spec(trials):
+    from repro.api import ExperimentSpec, FaultSpec
+
+    return ExperimentSpec(
+        construction="bn", params=QUICK_BN, grid=(FaultSpec(p=1e-3),),
+        trials=trials, chunk_size=QUICK_CHUNK, name=f"e21-mem-{trials}",
+    )
+
+
+def measure_quick() -> dict:
+    """The CI-gate triple: merge identity, bounded peak, resume identity."""
+    from repro.testkit import checkpoint_resume_oracle, streaming_merge_oracle
+
+    spec = _quick_identity_spec()
+    merge_report = streaming_merge_oracle(spec, max_batch_bytes=4096, workers=2)
+    resume_report = checkpoint_resume_oracle(spec, workers=2)
+
+    # Warm the cached construction so the one-time O(nodes) geometry
+    # build is not charged to either traced run.
+    _traced_run(_memory_spec(1), QUICK_BUDGET)
+    _, peak_small, _ = _traced_run(_memory_spec(QUICK_TRIALS_SMALL), QUICK_BUDGET)
+    _, peak_large, s_large = _traced_run(
+        _memory_spec(QUICK_TRIALS_LARGE), QUICK_BUDGET
+    )
+    return {
+        "streamed_identical": merge_report.ok,
+        "resume_identical": resume_report.ok,
+        "identity_cases": merge_report.cases + resume_report.cases,
+        "memory": {
+            "construction": "bn",
+            "params": QUICK_BN,
+            "chunk_size": QUICK_CHUNK,
+            "max_batch_bytes": QUICK_BUDGET,
+            "peak_limit_bytes": QUICK_PEAK_LIMIT,
+            "trials_small": QUICK_TRIALS_SMALL,
+            "trials_large": QUICK_TRIALS_LARGE,
+            "peak_bytes_small": peak_small,
+            "peak_bytes_large": peak_large,
+            "peak_growth_4x_trials": round(peak_large / peak_small, 3),
+            "seconds_large": round(s_large, 3),
+        },
+    }
+
+
+def quick_violations(data: dict) -> list[str]:
+    """Invariant failures in a ``measure_quick`` payload (empty = pass)."""
+    mem = data["memory"]
+    problems = []
+    if not data["streamed_identical"]:
+        problems.append("streamed merge is not byte-identical to materialized")
+    if not data["resume_identical"]:
+        problems.append("resume from a cut journal is not byte-identical")
+    if mem["peak_bytes_large"] > QUICK_PEAK_LIMIT:
+        problems.append(
+            f"parent peak {mem['peak_bytes_large']} B exceeds the "
+            f"{QUICK_PEAK_LIMIT} B ceiling for a {QUICK_BUDGET} B budget"
+        )
+    if mem["peak_bytes_large"] > TRIAL_GROWTH_LIMIT * mem["peak_bytes_small"]:
+        problems.append(
+            f"parent peak grew {mem['peak_growth_4x_trials']}x when trials "
+            f"grew 4x (limit {TRIAL_GROWTH_LIMIT}x) — not trial-independent"
+        )
+    return problems
+
+
+def measure_million_node() -> dict:
+    """Survival point on the 1.35M-node host, two trial counts: the peak
+    must track the (fixed) budget, not the trial count."""
+    from repro.api import ExperimentSpec, FaultSpec
+    from repro.core.params import BnParams
+    from repro.fastpath import DEFAULT_MAX_BATCH_BYTES, bn_bytes_per_trial
+
+    params = BnParams(**MILLION_NODE_BN)
+    p = params.paper_fault_probability
+
+    def run(trials):
+        spec = ExperimentSpec(
+            construction="bn", params=MILLION_NODE_BN, grid=(FaultSpec(p=p),),
+            trials=trials, chunk_size=8, name=f"e21-1m-nodes-{trials}",
+        )
+        result, peak, seconds = _traced_run(spec, DEFAULT_MAX_BATCH_BYTES)
+        mc = result.points[0].result
+        return {
+            "trials": trials,
+            "seconds": round(seconds, 3),
+            "parent_peak_bytes": peak,
+            "successes": mc.successes,
+        }
+
+    run(2)  # warm the construction cache outside the traced runs
+    small, large = run(16), run(48)
+    return {
+        "construction": "bn",
+        "params": MILLION_NODE_BN,
+        "host_nodes": params.num_nodes,
+        "p": p,
+        "max_batch_bytes": DEFAULT_MAX_BATCH_BYTES,
+        "bytes_per_trial": bn_bytes_per_trial(params),
+        "runs": [small, large],
+        "peak_growth_3x_trials": round(
+            large["parent_peak_bytes"] / small["parent_peak_bytes"], 3
+        ),
+    }
+
+
+def measure_million_trial() -> dict:
+    """1M-trial bn Monte-Carlo, journaled, under an 8 MiB budget."""
+    from repro.api import ExperimentSpec, FaultSpec
+    from repro.core.params import BnParams
+
+    spec = ExperimentSpec(
+        construction="bn", params=MILLION_TRIAL_BN, grid=(FaultSpec(p=1e-3),),
+        trials=MILLION_TRIALS, chunk_size=MILLION_TRIAL_CHUNK,
+        name="e21-1m-trials",
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "e21.ndjson"
+        result, peak, seconds = _traced_run(
+            spec, MILLION_BUDGET, checkpoint=journal
+        )
+        journal_lines = len(journal.read_bytes().split(b"\n")) - 1
+    mc = result.points[0].result
+    return {
+        "construction": "bn",
+        "params": MILLION_TRIAL_BN,
+        "host_nodes": BnParams(**MILLION_TRIAL_BN).num_nodes,
+        "p": 1e-3,
+        "trials": MILLION_TRIALS,
+        "chunk_size": MILLION_TRIAL_CHUNK,
+        "max_batch_bytes": MILLION_BUDGET,
+        "seconds": round(seconds, 3),
+        "trials_per_s": round(MILLION_TRIALS / seconds),
+        "parent_peak_bytes": peak,
+        "journal_lines": journal_lines,
+        "successes": mc.successes,
+        "mean_faults": round(mc.mean_faults, 4),
+    }
+
+
+def measure_full() -> dict:
+    quick = measure_quick()
+    return {
+        "benchmark": (
+            "bounded-memory streaming ExperimentRunner: incremental merge, "
+            "sub-chunk max_batch_bytes budgets, checkpoint/resume journal "
+            "(repro.api.experiment + repro.fastpath.streaming)"
+        ),
+        "machine_cpus": os.cpu_count(),
+        "note": (
+            "the CI perf gate replays the `quick` section and fails when "
+            "streamed or resumed output diverges byte-for-byte from the "
+            "materialized reference, when the parent tracemalloc peak "
+            "exceeds peak_limit_bytes under the tiny budget, or when peak "
+            "grows with the trial count.  The million-scale sections are "
+            "the ISSUE 8 acceptance runs: a survival point on a "
+            "1.35M-node host and a 1M-trial Monte-Carlo, both under a "
+            "fixed max_batch_bytes with trial-count-independent parent "
+            "peaks.  Peaks are tracemalloc bytes over a serial run, which "
+            "charges the kernels' own buffers to the parent — the "
+            "conservative reading of the bound"
+        ),
+        "quick": quick,
+        "million_node_survival": measure_million_node(),
+        "million_trial_mc": measure_million_trial(),
+    }
+
+
+# -- pytest integration ------------------------------------------------------
+
+
+def test_e21_streaming(benchmark, report):
+    from conftest import run_once
+
+    from repro.util.tables import Table
+
+    def compute():
+        data = measure_full()
+        STREAMING_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        return data
+
+    data = run_once(benchmark, compute)
+    mn, mt = data["million_node_survival"], data["million_trial_mc"]
+    table = Table(
+        ["case", "host nodes", "trials", "seconds", "peak MiB", "budget MiB"],
+        title="E21: streaming runner at million scale",
+    )
+    q = data["quick"]["memory"]
+    table.add_row(
+        ["quick gate", 1944, q["trials_large"], q["seconds_large"],
+         f"{q['peak_bytes_large'] / 2**20:.1f}",
+         f"{q['max_batch_bytes'] / 2**20:.0f}"]
+    )
+    big = mn["runs"][-1]
+    table.add_row(
+        ["1M-node survival", mn["host_nodes"], big["trials"], big["seconds"],
+         f"{big['parent_peak_bytes'] / 2**20:.1f}",
+         f"{mn['max_batch_bytes'] / 2**20:.0f}"]
+    )
+    table.add_row(
+        ["1M-trial MC", mt["host_nodes"], mt["trials"], mt["seconds"],
+         f"{mt['parent_peak_bytes'] / 2**20:.1f}",
+         f"{mt['max_batch_bytes'] / 2**20:.0f}"]
+    )
+    report("e21_streaming", table)
+
+    assert quick_violations(data["quick"]) == []
+    # ISSUE 8 acceptance: the million-scale runs complete with parent
+    # peaks independent of the trial count.
+    assert mn["peak_growth_3x_trials"] <= TRIAL_GROWTH_LIMIT
+    assert mt["journal_lines"] == 1 + -(-MILLION_TRIALS // MILLION_TRIAL_CHUNK)
+
+
+# -- CLI / CI gate -----------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="measure only the identity + memory gate "
+                         "(the CI perf gate)")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="compare against a committed BENCH_streaming.json; "
+                         "exit 1 on an invariant violation or a "
+                         ">50%% peak-memory regression")
+    ap.add_argument("--out", metavar="PATH",
+                    help="write measurement JSON here (full mode defaults "
+                         "to BENCH_streaming.json)")
+    args = ap.parse_args(argv)
+
+    data = {"quick": measure_quick()} if args.quick else measure_full()
+    print(json.dumps(data, indent=2, sort_keys=True))
+
+    problems = quick_violations(data["quick"])
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    elif not args.quick:
+        STREAMING_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {STREAMING_JSON}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())["quick"]["memory"]
+        measured = data["quick"]["memory"]["peak_bytes_large"]
+        ceiling = int(baseline["peak_bytes_large"] * PEAK_TOLERANCE)
+        verdict = "OK" if measured <= ceiling else "REGRESSION"
+        print(
+            f"perf gate [streaming peak]: measured {measured} B vs baseline "
+            f"{baseline['peak_bytes_large']} B (ceiling {ceiling} B) "
+            f"-> {verdict}"
+        )
+        if measured > ceiling:
+            print(
+                "FAIL: streaming-runner parent peak regressed >50% against "
+                "the committed baseline",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Sequence
 from repro.analysis.stats import wilson_interval
 from repro.api.outcome import TrialOutcome
 
-__all__ = ["MCResult", "MonteCarlo", "aggregate_outcomes"]
+__all__ = ["MCMerge", "MCResult", "MonteCarlo", "aggregate_outcomes"]
 
 
 @dataclass
@@ -89,6 +89,17 @@ class MCResult:
         )
 
     @classmethod
+    def merger(cls) -> "MCMerge":
+        """An incremental accumulator equivalent to :meth:`merged`.
+
+        The streaming runner folds chunks one at a time instead of
+        collecting them; routing both paths through the same accumulator
+        guarantees the float operation sequence — and hence the JSON —
+        is identical by construction, not by parallel maintenance.
+        """
+        return MCMerge(cls)
+
+    @classmethod
     def merged(cls, parts: Sequence["MCResult"]) -> "MCResult":
         """Deterministic merge of disjoint trial batches.
 
@@ -97,18 +108,36 @@ class MCResult:
         in the same order always reproduces the same float, which is what
         makes serial and parallel experiment runs byte-identical.
         """
-        out = cls(trials=0, successes=0)
-        total_faults = 0.0
+        merge = cls.merger()
         for part in parts:
-            out.trials += part.trials
-            out.successes += part.successes
-            out.categories.update(part.categories)
-            out.healthy += part.healthy
-            out.sufficient += part.sufficient
-            out.health_checked += part.health_checked
-            out.strategies.update(part.strategies)
-            total_faults += part.mean_faults * part.trials
-        out.mean_faults = total_faults / out.trials if out.trials else 0.0
+            merge.add(part)
+        return merge.finish()
+
+
+class MCMerge:
+    """Incremental :meth:`MCResult.merged`: ``add`` parts in chunk order,
+    then ``finish`` exactly once.  ``mean_faults`` keeps the running
+    ``total_faults`` float and divides only at the end — the same
+    operation sequence as the one-shot merge, ulp for ulp."""
+
+    def __init__(self, cls: type = None) -> None:
+        self._out = (cls or MCResult)(trials=0, successes=0)
+        self._total_faults = 0.0
+
+    def add(self, part: "MCResult") -> None:
+        out = self._out
+        out.trials += part.trials
+        out.successes += part.successes
+        out.categories.update(part.categories)
+        out.healthy += part.healthy
+        out.sufficient += part.sufficient
+        out.health_checked += part.health_checked
+        out.strategies.update(part.strategies)
+        self._total_faults += part.mean_faults * part.trials
+
+    def finish(self) -> "MCResult":
+        out = self._out
+        out.mean_faults = self._total_faults / out.trials if out.trials else 0.0
         return out
 
 

@@ -103,10 +103,14 @@ class _TorusTrafficMixin:
         """The vectorized kernel covers every pattern and injection model."""
         return True
 
-    def run_traffic_batch(self, spec: TrafficSpec, seeds: list) -> list:
+    def run_traffic_batch(
+        self, spec: TrafficSpec, seeds: list, max_batch_bytes: int | None = None
+    ) -> list:
         from repro.fastpath.traffic_batch import run_traffic_batch
 
-        return run_traffic_batch(self.guest_shape(), spec, seeds)
+        return run_traffic_batch(
+            self.guest_shape(), spec, seeds, max_batch_bytes=max_batch_bytes
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -162,10 +166,12 @@ class BnConstruction(_TorusTrafficMixin, _AdapterBase):
         it would be per-trial fallback in disguise."""
         return not spec.adversarial and self.strategy in ("auto", "straight")
 
-    def run_batch(self, spec: FaultSpec, seeds: list) -> list:
+    def run_batch(
+        self, spec: FaultSpec, seeds: list, max_batch_bytes: int | None = None
+    ) -> list:
         from repro.fastpath.bn_batch import run_bn_batch
 
-        return run_bn_batch(self, spec, seeds)
+        return run_bn_batch(self, spec, seeds, max_batch_bytes=max_batch_bytes)
 
     def lifetime_trial(self, spec: LifetimeSpec, seed: int) -> LifetimeOutcome:
         """Incremental lifetime trial on the historical ``fault_lifetime``
@@ -187,10 +193,14 @@ class BnConstruction(_TorusTrafficMixin, _AdapterBase):
             and self.strategy in ("auto", "straight")
         )
 
-    def run_lifetime_batch(self, spec: LifetimeSpec, seeds: list) -> list:
+    def run_lifetime_batch(
+        self, spec: LifetimeSpec, seeds: list, max_batch_bytes: int | None = None
+    ) -> list:
         from repro.fastpath.lifetime_batch import run_bn_lifetime_batch
 
-        return run_bn_lifetime_batch(self, spec, seeds)
+        return run_bn_lifetime_batch(
+            self, spec, seeds, max_batch_bytes=max_batch_bytes
+        )
 
     def guest_shape(self) -> tuple:
         """The ``n^d`` torus a successful recovery re-embeds (dilation 1)."""
@@ -306,10 +316,12 @@ class AnConstruction(_TorusTrafficMixin, _AdapterBase):
         consults per-pair half-edge bits, which stay on the scalar path."""
         return not spec.adversarial and spec.q == 0.0
 
-    def run_batch(self, spec: FaultSpec, seeds: list) -> list:
+    def run_batch(
+        self, spec: FaultSpec, seeds: list, max_batch_bytes: int | None = None
+    ) -> list:
         from repro.fastpath.an_batch import run_an_batch
 
-        return run_an_batch(self, spec, seeds)
+        return run_an_batch(self, spec, seeds, max_batch_bytes=max_batch_bytes)
 
     def guest_shape(self) -> tuple:
         """The ``n^d`` torus (side ``k_sub * n_B``) Theorem 1 reconstructs."""

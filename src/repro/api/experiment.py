@@ -28,6 +28,7 @@ smoke job).
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 from collections import OrderedDict
@@ -42,6 +43,8 @@ from repro.api.traffic import TrafficResult, aggregate_traffic
 __all__ = ["ExperimentResult", "ExperimentRunner", "ExperimentSpec", "PointResult"]
 
 RESULT_FORMAT = "repro-experiment-v1"
+
+logger = logging.getLogger(__name__)
 
 #: Seeds per work unit.  Part of the determinism contract: changing it can
 #: move float rounding in the merged ``mean_faults`` by an ulp, so it is a
@@ -268,8 +271,13 @@ def _run_chunk(task: tuple) -> dict:
     Dispatches the chunk to the construction's vectorized ``run_batch``
     backend when allowed and advertised; outcomes are identical either
     way (the batch contract), so the choice never reaches the JSON.
+    ``max_batch_bytes`` (when set) bounds the kernels' resident fault
+    stacks — it is passed through only when explicit so duck-typed
+    constructions without the parameter keep working on the default
+    budget.
     """
-    name, params_items, fault_spec_dict, seed_start, count, use_batch = task
+    name, params_items, fault_spec_dict, seed_start, count, use_batch, mbb = task
+    kw = {} if mbb is None else {"max_batch_bytes": mbb}
     construction = _cached_construction(name, params_items)
     point = _point_from_dict(fault_spec_dict)
     seeds = list(range(seed_start, seed_start + count))
@@ -281,7 +289,7 @@ def _run_chunk(task: tuple) -> dict:
             run_lb = getattr(construction, "run_lifetime_batch", None)
             supports_lb = getattr(construction, "supports_lifetime_batch", None)
             if run_lb is not None and (supports_lb is None or supports_lb(point)):
-                return aggregate_lifetimes(run_lb(point, seeds)).to_dict()
+                return aggregate_lifetimes(run_lb(point, seeds, **kw)).to_dict()
         return aggregate_lifetimes(lifetime_trial(point, s) for s in seeds).to_dict()
     if isinstance(point, TrafficSpec):
         traffic_trial = getattr(construction, "traffic_trial", None)
@@ -291,16 +299,67 @@ def _run_chunk(task: tuple) -> dict:
             run_tb = getattr(construction, "run_traffic_batch", None)
             supports_tb = getattr(construction, "supports_traffic_batch", None)
             if run_tb is not None and (supports_tb is None or supports_tb(point)):
-                return aggregate_traffic(run_tb(point, seeds)).to_dict()
+                return aggregate_traffic(run_tb(point, seeds, **kw)).to_dict()
         return aggregate_traffic(traffic_trial(point, s) for s in seeds).to_dict()
     if use_batch:
         run_batch = getattr(construction, "run_batch", None)
         supports = getattr(construction, "supports_batch", None)
         if run_batch is not None and (supports is None or supports(point)):
-            outcomes = run_batch(point, seeds)
+            outcomes = run_batch(point, seeds, **kw)
             return aggregate_outcomes(outcomes).to_dict()
     mc = MonteCarlo(lambda seed: construction.trial(point, seed))
     return mc.run(count, seed0=seed_start).to_dict()
+
+
+def _run_chunk_indexed(item: tuple) -> tuple:
+    """Pool envelope around :func:`_run_chunk`: carries the chunk's grid
+    coordinates through ``imap_unordered`` (which drops input ordering)
+    and drains the worker's peak-buffer gauge for progress telemetry."""
+    point_idx, chunk_idx, task = item
+    result = _run_chunk(task)
+    from repro.fastpath.streaming import take_peak_bytes
+
+    return point_idx, chunk_idx, result, take_peak_bytes()
+
+
+def _result_class(fs) -> type:
+    if isinstance(fs, LifetimeSpec):
+        return LifetimeResult
+    if isinstance(fs, TrafficSpec):
+        return TrafficResult
+    return MCResult
+
+
+class _PointFold:
+    """Incremental chunk-order merge state for one grid point.
+
+    Chunks may *arrive* in any order (``imap_unordered``, resumed
+    journals); they are *folded* strictly in chunk order through the
+    result class's merge accumulator — the same operation sequence as
+    the one-shot ``merged()`` — with out-of-order arrivals parked in a
+    small pending dict until their turn.  Only raw dicts ahead of the
+    fold frontier are ever buffered, so parent memory stays O(pending),
+    not O(trials).
+    """
+
+    def __init__(self, fault_spec) -> None:
+        self.fault_spec = fault_spec
+        self.res_cls = _result_class(fault_spec)
+        self._merge = self.res_cls.merger()
+        self._next = 0
+        self._pending: dict[int, dict] = {}
+
+    def add(self, chunk_idx: int, result_dict: dict) -> None:
+        self._pending[chunk_idx] = result_dict
+        while self._next in self._pending:
+            part = self.res_cls.from_dict(self._pending.pop(self._next))
+            self._merge.add(part)
+            self._next += 1
+
+    def finish(self) -> PointResult:
+        if self._pending:  # pragma: no cover - runner always drains
+            raise RuntimeError(f"unmerged chunks: {sorted(self._pending)}")
+        return PointResult(fault_spec=self.fault_spec, result=self._merge.finish())
 
 
 class ExperimentRunner:
@@ -312,49 +371,163 @@ class ExperimentRunner:
     falling back to the per-trial loop otherwise; ``False`` forces the
     per-trial loop everywhere.  Like ``workers``, the choice is a runner
     property, not a spec field — results are byte-identical regardless.
+
+    Execution is *streaming*: chunk tasks are generated lazily, results
+    are consumed as they complete (``imap_unordered`` when pooled) and
+    folded immediately into per-point merge accumulators, so the parent
+    process never holds more than the out-of-order window of raw chunk
+    dicts regardless of ``spec.trials``.  ``max_batch_bytes`` bounds
+    each worker's resident fault-stack bytes (``None`` = the kernels'
+    default budget); ``progress_interval`` throttles INFO progress lines
+    (seconds between lines, ``0`` logs every chunk).  Neither changes
+    results — see docs/scaling.md.
+
+    ``run(spec, checkpoint=..., resume=...)`` adds crash tolerance: each
+    completed chunk is appended to an NDJSON journal, and a resumed run
+    skips journaled chunks while producing byte-identical final JSON
+    (see ``repro.api.journal``).
     """
 
-    def __init__(self, workers: int = 1, batch: bool | None = None):
+    def __init__(
+        self,
+        workers: int = 1,
+        batch: bool | None = None,
+        max_batch_bytes: int | None = None,
+        progress_interval: float = 1.0,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_batch_bytes is not None and max_batch_bytes < 1:
+            raise ValueError("max_batch_bytes must be >= 1")
         self.workers = workers
         self.batch = batch
+        self.max_batch_bytes = max_batch_bytes
+        self.progress_interval = progress_interval
 
-    def _tasks(self, spec: ExperimentSpec) -> list[tuple]:
+    def _iter_tasks(self, spec: ExperimentSpec, skip=frozenset()):
+        """Lazily yield ``(point_idx, chunk_idx, task)`` work units.
+
+        A generator, never a materialized list: at a million trials the
+        task list itself would be memory the streaming contract promises
+        not to spend.  ``skip`` drops chunks already satisfied by a
+        resumed journal.
+        """
         params_items = tuple(sorted(spec.params.items()))
         use_batch = self.batch is not False
-        tasks = []
-        for fs in spec.grid:
+        for point_idx, fs in enumerate(spec.grid):
             fsd = fs.to_dict()
-            for start in range(0, spec.trials, spec.chunk_size):
+            for chunk_idx, start in enumerate(range(0, spec.trials, spec.chunk_size)):
+                if (point_idx, chunk_idx) in skip:
+                    continue
                 count = min(spec.chunk_size, spec.trials - start)
-                tasks.append(
-                    (spec.construction, params_items, fsd, spec.seed0 + start, count,
-                     use_batch)
+                yield (
+                    point_idx,
+                    chunk_idx,
+                    (spec.construction, params_items, fsd, spec.seed0 + start,
+                     count, use_batch, self.max_batch_bytes),
                 )
-        return tasks
 
-    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        checkpoint=None,
+        resume: bool = False,
+    ) -> ExperimentResult:
         t0 = time.perf_counter()
-        tasks = self._tasks(spec)
-        if self.workers == 1 or len(tasks) == 1:
-            raw = [_run_chunk(t) for t in tasks]
-        else:
-            with multiprocessing.Pool(processes=min(self.workers, len(tasks))) as pool:
-                raw = pool.map(_run_chunk, tasks)
-        # Merge chunks back into grid points, in chunk order.
         chunks_per_point = -(-spec.trials // spec.chunk_size)
-        points = []
-        for i, fs in enumerate(spec.grid):
-            if isinstance(fs, LifetimeSpec):
-                res_cls = LifetimeResult
-            elif isinstance(fs, TrafficSpec):
-                res_cls = TrafficResult
-            else:
-                res_cls = MCResult
-            parts = [
-                res_cls.from_dict(raw[i * chunks_per_point + j])
-                for j in range(chunks_per_point)
-            ]
-            points.append(PointResult(fault_spec=fs, result=res_cls.merged(parts)))
+        total = len(spec.grid) * chunks_per_point
+        folds = [_PointFold(fs) for fs in spec.grid]
+
+        journal = None
+        done: dict = {}
+        if checkpoint is not None:
+            from repro.api.journal import ChunkJournal
+
+            journal = ChunkJournal(checkpoint)
+            done = journal.start(spec, total, resume=resume)
+        elif resume:
+            raise ValueError("resume requires a checkpoint path")
+        # Journaled chunks fold first (sorted = chunk order per point), so
+        # live results always land at or ahead of each fold frontier.
+        for point_idx, chunk_idx in sorted(done):
+            folds[point_idx].add(chunk_idx, done[(point_idx, chunk_idx)])
+
+        remaining = total - len(done)
+        progress = _Progress(
+            total=total, already_done=len(done), spec=spec,
+            interval=self.progress_interval,
+        )
+        try:
+            if remaining:
+                tasks = self._iter_tasks(spec, skip=done.keys())
+                if self.workers == 1 or remaining == 1:
+                    # No pool spin-up cost when it could not help.
+                    results = map(_run_chunk_indexed, tasks)
+                    self._consume(results, folds, journal, progress)
+                else:
+                    workers = min(self.workers, remaining)
+                    # Dispatch in blocks to amortize IPC without letting one
+                    # worker hoard the tail of the queue.
+                    blk = max(1, min(16, remaining // (workers * 4)))
+                    with multiprocessing.Pool(processes=workers) as pool:
+                        results = pool.imap_unordered(
+                            _run_chunk_indexed, tasks, chunksize=blk
+                        )
+                        self._consume(results, folds, journal, progress)
+        finally:
+            if journal is not None:
+                journal.close()
+        points = [fold.finish() for fold in folds]
         return ExperimentResult(spec=spec, points=points, elapsed=time.perf_counter() - t0)
+
+    def _consume(self, results, folds, journal, progress) -> None:
+        """Drain chunk results as they complete: journal, fold, report."""
+        for point_idx, chunk_idx, result_dict, peak_bytes in results:
+            if journal is not None:
+                journal.append(point_idx, chunk_idx, result_dict)
+            folds[point_idx].add(chunk_idx, result_dict)
+            progress.step(int(result_dict.get("trials", 0)), peak_bytes)
+
+
+class _Progress:
+    """Throttled INFO progress lines for long sweeps (chunks, trials/s,
+    ETA, worker peak buffer).  Silent unless the ``repro`` logger is at
+    INFO (the CLI's global ``--log-level info``)."""
+
+    def __init__(self, *, total: int, already_done: int, spec, interval: float) -> None:
+        self.total = total
+        self.done = already_done
+        self.live = 0         # chunks completed this session
+        self.trials = 0       # trials completed this session
+        self.peak_bytes = 0
+        self.interval = interval
+        self.t0 = time.perf_counter()
+        self.last = self.t0
+        if already_done:
+            logger.info(
+                "%s: resuming — %d/%d chunks journaled", spec.name or spec.construction,
+                already_done, total,
+            )
+
+    def step(self, trials: int, peak_bytes: int) -> None:
+        self.done += 1
+        self.live += 1
+        self.trials += trials
+        self.peak_bytes = max(self.peak_bytes, peak_bytes)
+        now = time.perf_counter()
+        if self.done < self.total and now - self.last < self.interval:
+            return
+        self.last = now
+        if not logger.isEnabledFor(logging.INFO):
+            return
+        elapsed = max(now - self.t0, 1e-9)
+        rate = self.trials / elapsed
+        remaining = self.total - self.done
+        eta = remaining * (self.trials / self.live) / max(rate, 1e-9)
+        logger.info(
+            "progress: %d/%d chunks (%.0f%%), %d trials, %.0f trials/s, "
+            "ETA %.1fs, peak buffer %.1f MiB",
+            self.done, self.total, 100.0 * self.done / self.total, self.trials,
+            rate, eta, self.peak_bytes / (1024 * 1024),
+        )

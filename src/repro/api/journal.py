@@ -1,0 +1,171 @@
+"""Append-only NDJSON chunk journal: checkpoint/resume for experiment runs.
+
+A journal pins one :class:`~repro.api.experiment.ExperimentSpec` execution
+to a file so multi-hour sweeps survive interruption.  Line 1 is a header
+(format tag, the full spec dict, the total chunk count); every line after
+it records one completed seed chunk::
+
+    {"format": "repro-chunk-journal-v1", "spec": {...}, "total_chunks": 8}
+    {"chunk": 0, "point": 0, "result": {...MCResult dict...}}
+    {"chunk": 1, "point": 0, "result": {...}}
+
+The parent process appends a line (and flushes) the moment a chunk's
+result arrives, so after a kill the journal holds every finished chunk
+plus at most one torn final line.  Resume rules:
+
+* missing file → start fresh (the journal is created);
+* header or any *non-final* line unparseable, wrong ``format``, a spec
+  mismatch, or out-of-range chunk coordinates →
+  :class:`~repro.errors.JournalError` (never silently merge a journal
+  written for different work);
+* a torn *final* line (no trailing newline, or a trailing fragment that
+  does not parse) → dropped with a warning and truncated before new
+  appends — the expected signature of a mid-write kill.
+
+Only chunk *identity and results* live here; runner-level choices
+(``workers``, ``batch``, ``max_batch_bytes``) are deliberately absent, so
+a run may resume with a different worker count or memory budget and still
+produce byte-identical final JSON — the determinism contract is carried
+entirely by the spec.  Results round-trip through ``json`` exactly
+(floats re-read to the same IEEE value), so a resumed merge folds the
+same dicts an uninterrupted run would.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+
+from repro.errors import JournalError
+
+__all__ = ["JOURNAL_FORMAT", "ChunkJournal"]
+
+JOURNAL_FORMAT = "repro-chunk-journal-v1"
+
+logger = logging.getLogger(__name__)
+
+
+class ChunkJournal:
+    """One experiment's chunk journal (create, resume-load, append)."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, spec, total_chunks: int, *, resume: bool) -> dict:
+        """Open the journal and return already-completed chunks.
+
+        With ``resume=True`` and an existing file, validates the header
+        against ``spec``, reads every completed chunk line, truncates any
+        torn final fragment and opens for append; the returned mapping is
+        ``{(point, chunk): result_dict}``.  Otherwise (re)creates the
+        file with a fresh header and returns ``{}``.
+        """
+        spec_dict = spec.to_dict()
+        if resume and self.path.exists():
+            done, good_bytes = self._load(spec_dict, total_chunks)
+            if good_bytes:
+                self._fh = open(self.path, "r+", encoding="utf-8")
+                self._fh.seek(good_bytes)
+                self._fh.truncate()
+                return done
+            # Not even one complete header line survived (a kill during the
+            # very first write): rebuild from scratch below.
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._write_line(
+            {"format": JOURNAL_FORMAT, "spec": spec_dict, "total_chunks": total_chunks}
+        )
+        return {}
+
+    def append(self, point: int, chunk: int, result: dict) -> None:
+        """Journal one completed chunk (flushed before returning)."""
+        self._write_line({"chunk": chunk, "point": point, "result": result})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ChunkJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _write_line(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def _load(self, spec_dict: dict, total_chunks: int) -> tuple[dict, int]:
+        """Parse an existing journal; returns ``(done, good_bytes)``."""
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        # A file not ending in a newline has a torn final fragment; a file
+        # that does yields one empty trailing element — either way the last
+        # list entry is never a *complete* line.
+        complete, tail = lines[:-1], lines[-1]
+        if not complete:
+            logger.warning(
+                "journal %s has no complete header line; starting fresh", self.path
+            )
+            return {}, 0
+        header = self._parse(complete[0], lineno=1)
+        if header.get("format") != JOURNAL_FORMAT:
+            raise JournalError(
+                f"{self.path}: unrecognised journal format {header.get('format')!r}"
+            )
+        if header.get("spec") != spec_dict:
+            raise JournalError(
+                f"{self.path}: journal was written for a different spec; "
+                "refusing to resume (pass a fresh --checkpoint path instead)"
+            )
+        if header.get("total_chunks") != total_chunks:
+            raise JournalError(
+                f"{self.path}: journal expects {header.get('total_chunks')} "
+                f"chunks, this run has {total_chunks}"
+            )
+        num_points = len(spec_dict["grid"])
+        chunks_per_point = total_chunks // num_points
+        done: dict = {}
+        for lineno, line in enumerate(complete[1:], start=2):
+            rec = self._parse(line, lineno=lineno)
+            try:
+                point, chunk, result = rec["point"], rec["chunk"], rec["result"]
+            except (KeyError, TypeError) as exc:
+                raise JournalError(
+                    f"{self.path}:{lineno}: chunk record missing {exc}"
+                ) from None
+            if not isinstance(point, int) or not isinstance(chunk, int):
+                raise JournalError(
+                    f"{self.path}:{lineno}: non-integer chunk coordinates"
+                )
+            if not (0 <= point < num_points and 0 <= chunk < chunks_per_point):
+                raise JournalError(
+                    f"{self.path}:{lineno}: chunk ({point}, {chunk}) is outside "
+                    f"this spec's {num_points} x {chunks_per_point} grid"
+                )
+            done[(point, chunk)] = result
+        if tail:
+            logger.warning(
+                "journal %s: dropping torn final line (%d bytes) from an "
+                "interrupted write", self.path, len(tail),
+            )
+        good_bytes = len(raw) - len(tail)
+        return done, good_bytes
+
+    def _parse(self, line: bytes, *, lineno: int) -> dict:
+        try:
+            rec = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise JournalError(
+                f"{self.path}:{lineno}: corrupt journal line ({exc}); the file "
+                "is damaged beyond its final line — rerun without --resume"
+            ) from None
+        if not isinstance(rec, dict):
+            raise JournalError(f"{self.path}:{lineno}: journal line is not an object")
+        return rec

@@ -31,6 +31,7 @@ from repro.errors import ReconstructionError
 from repro.faults.timeline import make_timeline
 
 __all__ = [
+    "LifetimeMerge",
     "LifetimeOutcome",
     "LifetimeResult",
     "aggregate_lifetimes",
@@ -150,18 +151,40 @@ class LifetimeResult:
         )
 
     @classmethod
+    def merger(cls) -> "LifetimeMerge":
+        """Incremental accumulator equivalent to :meth:`merged` (shared by
+        the streaming experiment runner; see ``MCResult.merger``)."""
+        return LifetimeMerge(cls)
+
+    @classmethod
     def merged(cls, parts: Sequence["LifetimeResult"]) -> "LifetimeResult":
         """Concatenate disjoint trial batches in the order given."""
-        out = cls(trials=0)
+        merge = cls.merger()
         for part in parts:
-            out.trials += part.trials
-            out.lifetimes.extend(part.lifetimes)
-            out.categories.update(part.categories)
-            out.masked += part.masked
-            out.replaced += part.replaced
-            out.repaired += part.repaired
-            out.exhausted += part.exhausted
-        return out
+            merge.add(part)
+        return merge.finish()
+
+
+class LifetimeMerge:
+    """Incremental :meth:`LifetimeResult.merged` — integer sums and list
+    concatenation only, so chunk-order folding is trivially identical to
+    the one-shot merge."""
+
+    def __init__(self, cls: type = None) -> None:
+        self._out = (cls or LifetimeResult)(trials=0)
+
+    def add(self, part: "LifetimeResult") -> None:
+        out = self._out
+        out.trials += part.trials
+        out.lifetimes.extend(part.lifetimes)
+        out.categories.update(part.categories)
+        out.masked += part.masked
+        out.replaced += part.replaced
+        out.repaired += part.repaired
+        out.exhausted += part.exhausted
+
+    def finish(self) -> "LifetimeResult":
+        return self._out
 
 
 def aggregate_lifetimes(outcomes: Iterable[LifetimeOutcome]) -> LifetimeResult:

@@ -35,6 +35,7 @@ from repro.sim.workload import make_open_loop, open_loop_stats
 from repro.util.rng import spawn_rng
 
 __all__ = [
+    "TrafficMerge",
     "TrafficOutcome",
     "TrafficResult",
     "aggregate_traffic",
@@ -185,13 +186,33 @@ class TrafficResult:
         )
 
     @classmethod
+    def merger(cls) -> "TrafficMerge":
+        """Incremental accumulator equivalent to :meth:`merged` (shared by
+        the streaming experiment runner; see ``MCResult.merger``)."""
+        return TrafficMerge(cls)
+
+    @classmethod
     def merged(cls, parts: Sequence["TrafficResult"]) -> "TrafficResult":
         """Concatenate disjoint trial batches in the order given."""
-        out = cls(trials=0)
+        merge = cls.merger()
         for part in parts:
-            out.trials += part.trials
-            out.outcomes.extend(part.outcomes)
-        return out
+            merge.add(part)
+        return merge.finish()
+
+
+class TrafficMerge:
+    """Incremental :meth:`TrafficResult.merged` — pure concatenation, so
+    chunk-order folding is trivially identical to the one-shot merge."""
+
+    def __init__(self, cls: type = None) -> None:
+        self._out = (cls or TrafficResult)(trials=0)
+
+    def add(self, part: "TrafficResult") -> None:
+        self._out.trials += part.trials
+        self._out.outcomes.extend(part.outcomes)
+
+    def finish(self) -> "TrafficResult":
+        return self._out
 
 
 def aggregate_traffic(outcomes: Iterable[TrafficOutcome]) -> TrafficResult:

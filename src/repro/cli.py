@@ -76,6 +76,33 @@ _RUN_PARAMS = {
 }
 
 
+def _make_runner(args: argparse.Namespace):
+    """The experiment runner shared by run/lifetime/traffic: worker pool,
+    batch backend and streaming memory budget are runner (non-spec)
+    choices — results are byte-identical whatever they are set to."""
+    from repro.api import ExperimentRunner
+
+    return ExperimentRunner(
+        workers=args.workers, batch=args.batch, max_batch_bytes=args.max_batch_bytes
+    )
+
+
+def _add_streaming_args(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume + memory-budget flags (run/lifetime/traffic)."""
+    parser.add_argument(
+        "--checkpoint", type=str, default="",
+        help="append each completed seed chunk to this NDJSON journal so an "
+             "interrupted sweep can be resumed (see docs/scaling.md)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip chunks already recorded in the --checkpoint journal; the "
+             "final JSON is byte-identical to an uninterrupted run")
+    parser.add_argument(
+        "--max-batch-bytes", dest="max_batch_bytes", type=int, default=None,
+        help="per-worker resident fault-stack byte budget for the batched "
+             "kernels (default: 64 MiB; results are identical at any budget)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import ExperimentRunner, ExperimentSpec, FaultSpec
 
@@ -84,7 +111,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for key in _RUN_PARAMS[args.construction]
         if getattr(args, key) is not None
     }
-    from repro.errors import ParameterError
+    from repro.errors import JournalError, ParameterError
     from repro.faults.adversary import ADVERSARY_PATTERNS
 
     grid: list[FaultSpec] = []
@@ -116,8 +143,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         name=args.name or args.construction,
     )
     try:
-        result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
-    except (ParameterError, ValueError) as exc:
+        result = _make_runner(args).run(
+            spec, checkpoint=args.checkpoint or None, resume=args.resume
+        )
+    except (JournalError, ParameterError, ValueError) as exc:
         log.error("run: %s", exc)
         return 2
     print(result.summary())
@@ -172,7 +201,7 @@ def _cmd_dn_attack(args: argparse.Namespace) -> int:
 
 def _cmd_lifetime(args: argparse.Namespace) -> int:
     from repro.api import ExperimentRunner, ExperimentSpec, LifetimeSpec
-    from repro.errors import ParameterError
+    from repro.errors import JournalError, ParameterError
 
     params = {
         key: getattr(args, key)
@@ -205,8 +234,10 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         name=args.name or f"{args.construction}-lifetime",
     )
     try:
-        result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
-    except (ParameterError, ValueError) as exc:
+        result = _make_runner(args).run(
+            spec, checkpoint=args.checkpoint or None, resume=args.resume
+        )
+    except (JournalError, ParameterError, ValueError) as exc:
         log.error("lifetime: %s", exc)
         return 2
     print(result.summary())
@@ -269,7 +300,7 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
 
 def _cmd_traffic(args: argparse.Namespace) -> int:
     from repro.api import ExperimentRunner, ExperimentSpec, TrafficSpec
-    from repro.errors import ParameterError
+    from repro.errors import JournalError, ParameterError
 
     params = {
         key: getattr(args, key)
@@ -317,8 +348,10 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
         name=args.name or f"{args.construction}-traffic",
     )
     try:
-        result = ExperimentRunner(workers=args.workers, batch=args.batch).run(spec)
-    except (ParameterError, TypeError, ValueError) as exc:
+        result = _make_runner(args).run(
+            spec, checkpoint=args.checkpoint or None, resume=args.resume
+        )
+    except (JournalError, ParameterError, TypeError, ValueError) as exc:
         log.error("traffic: %s", exc)
         return 2
     print(result.summary())
@@ -604,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the vectorized batched-trial backend where the "
                             "construction supports it (default: auto; results are "
                             "byte-identical either way)")
+    _add_streaming_args(p_run)
     p_run.add_argument("--out", type=str, default="", help="write results JSON here")
     p_run.add_argument("--name", type=str, default="", help="experiment name for the report")
     _add_construction_args(p_run)
@@ -668,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_life.add_argument("--batch", action=argparse.BooleanOptionalAction, default=None,
                         help="use the batched lifetime kernel where supported "
                              "(default: auto; results are byte-identical either way)")
+    _add_streaming_args(p_life)
     p_life.add_argument("--out", type=str, default="", help="write results JSON here")
     p_life.add_argument("--name", type=str, default="", help="experiment name")
     p_life.add_argument("--traffic", type=str, default="",
@@ -729,6 +764,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_traffic.add_argument("--batch", action=argparse.BooleanOptionalAction, default=None,
                            help="use the vectorized simulator kernel "
                                 "(default: auto; results are byte-identical either way)")
+    _add_streaming_args(p_traffic)
     p_traffic.add_argument("--out", type=str, default="", help="write results JSON here")
     p_traffic.add_argument("--name", type=str, default="", help="experiment name")
     _add_construction_args(p_traffic)

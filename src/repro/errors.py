@@ -22,6 +22,18 @@ class ConstructionError(ReproError):
     """A construction could not be built (should not happen for valid params)."""
 
 
+class JournalError(ReproError):
+    """A checkpoint chunk journal cannot be resumed.
+
+    Raised when ``--resume`` points at a journal written for a different
+    spec, with an unknown format, or with a corrupt (non-final) line —
+    anything where silently continuing could merge wrong chunks into the
+    result.  A *truncated final line* is NOT an error: that is the
+    expected signature of a mid-write kill, and resume drops it.
+    """
+
+
+
 class ReconstructionError(ReproError):
     """Recovery of the fault-free torus failed.
 

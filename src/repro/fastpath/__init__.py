@@ -19,16 +19,28 @@ depends on the fast path alone.  See docs/fastpath.md.
 
 from repro.fastpath.an_batch import run_an_batch
 from repro.fastpath.bn_batch import (
+    bn_bytes_per_trial,
     run_bn_batch,
     sample_bn_faults_batch,
     straight_survival_batch,
 )
 from repro.fastpath.health import check_healthiness_batch
 from repro.fastpath.lifetime_batch import run_bn_lifetime_batch
+from repro.fastpath.streaming import (
+    DEFAULT_MAX_BATCH_BYTES,
+    iter_seed_slices,
+    record_buffer,
+    take_peak_bytes,
+    trials_per_slice,
+)
 from repro.fastpath.traffic_batch import routes_batch, run_traffic_batch, simulate_batch
 
 __all__ = [
+    "DEFAULT_MAX_BATCH_BYTES",
+    "bn_bytes_per_trial",
     "check_healthiness_batch",
+    "iter_seed_slices",
+    "record_buffer",
     "routes_batch",
     "run_an_batch",
     "run_bn_batch",
@@ -37,4 +49,6 @@ __all__ = [
     "sample_bn_faults_batch",
     "simulate_batch",
     "straight_survival_batch",
+    "take_peak_bytes",
+    "trials_per_slice",
 ]

@@ -21,33 +21,51 @@ from typing import Sequence
 import numpy as np
 
 from repro.api.outcome import TrialOutcome
-from repro.fastpath.bn_batch import straight_survival_batch
+from repro.fastpath.bn_batch import bn_bytes_per_trial, straight_survival_batch
+from repro.fastpath.streaming import iter_seed_slices, record_buffer
 
 __all__ = ["run_an_batch"]
 
 
-def run_an_batch(adapter, spec, seeds: Sequence[int]) -> list[TrialOutcome]:
+def run_an_batch(
+    adapter, spec, seeds: Sequence[int], max_batch_bytes: int | None = None
+) -> list[TrialOutcome]:
     """Batched equivalent of ``[adapter.trial(spec, s) for s in seeds]``
-    for Bernoulli node faults with ``q == 0``."""
+    for Bernoulli node faults with ``q == 0``.
+
+    Streams seed slices through one reused node-fault buffer under the
+    ``max_batch_bytes`` budget; trials are independent, so slicing is
+    outcome-identical (see ``fastpath/streaming.py``).
+    """
     torus = adapter.torus
     params = adapter.params
-    trials = len(seeds)
-    node_faults = np.empty((trials, params.num_supernodes, params.h), dtype=bool)
-    for i, seed in enumerate(seeds):
-        # Same streams as the scalar trial: ATorus.sample_faults(p, q, seed).
-        node_faults[i] = torus.sample_faults(spec.p, spec.q, seed).node_faults
-    num_faults = node_faults.reshape(trials, -1).sum(axis=1)
-    # Good supernodes: enough good (= non-faulty, since q == 0) nodes.
-    good_counts = params.h - node_faults.sum(axis=2)
-    threshold = params.good_node_threshold(spec.q)
-    faulty_super = (good_counts < threshold).reshape((trials,) + params.base.shape)
-    covered, _ = straight_survival_batch(params.base, faulty_super)
+    # Per-trial working set: the supernode node-fault slab plus the host
+    # classifier's own arrays on the base shape.
+    per_trial = params.num_supernodes * params.h + bn_bytes_per_trial(params.base)
     outcomes: list[TrialOutcome] = []
-    for t, seed in enumerate(seeds):
-        if covered[t]:
-            outcomes.append(
-                TrialOutcome(success=True, category="ok", num_faults=int(num_faults[t]))
-            )
-        else:
-            outcomes.append(adapter.trial(spec, seed))
+    buf: np.ndarray | None = None
+    for sub in iter_seed_slices(seeds, per_trial, max_batch_bytes):
+        trials = len(sub)
+        if buf is None or buf.shape[0] < trials:
+            buf = np.empty((trials, params.num_supernodes, params.h), dtype=bool)
+            record_buffer(buf.nbytes)
+        node_faults = buf[:trials]
+        for i, seed in enumerate(sub):
+            # Same streams as the scalar trial: ATorus.sample_faults(p, q, seed).
+            node_faults[i] = torus.sample_faults(spec.p, spec.q, seed).node_faults
+        num_faults = node_faults.reshape(trials, -1).sum(axis=1)
+        # Good supernodes: enough good (= non-faulty, since q == 0) nodes.
+        good_counts = params.h - node_faults.sum(axis=2)
+        threshold = params.good_node_threshold(spec.q)
+        faulty_super = (good_counts < threshold).reshape((trials,) + params.base.shape)
+        covered, _ = straight_survival_batch(params.base, faulty_super)
+        for t, seed in enumerate(sub):
+            if covered[t]:
+                outcomes.append(
+                    TrialOutcome(
+                        success=True, category="ok", num_faults=int(num_faults[t])
+                    )
+                )
+            else:
+                outcomes.append(adapter.trial(spec, seed))
     return outcomes

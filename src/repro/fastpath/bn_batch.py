@@ -34,22 +34,35 @@ from repro.api.outcome import TrialOutcome
 from repro.core.params import BnParams
 from repro.core.placement import _cover_rows_cyclic
 from repro.errors import ReconstructionError
+from repro.fastpath.streaming import iter_seed_slices, record_buffer
 from repro.util.rng import spawn_rng
 
-__all__ = ["run_bn_batch", "sample_bn_faults_batch", "straight_survival_batch"]
+__all__ = ["bn_bytes_per_trial", "run_bn_batch", "sample_bn_faults_batch",
+           "straight_survival_batch"]
+
+
+def bn_bytes_per_trial(params: BnParams) -> int:
+    """Estimated per-trial working-set bytes of the bn survival kernel:
+    the bool fault stack slice plus the classifier's ``(K, m)`` masked
+    broadcast and the row profile (the arrays that scale with shape)."""
+    return int(np.prod(params.shape)) + (params.num_bands + 2) * params.m
 
 
 def sample_bn_faults_batch(
-    torus, p: float, q: float, seeds: Sequence[int]
+    torus, p: float, q: float, seeds: Sequence[int], out: np.ndarray | None = None
 ) -> np.ndarray:
     """Stack per-seed fault draws into a ``(trials, *shape)`` array.
 
     Each slice reuses :meth:`BTorus.sample_faults` with the scalar trial's
     generator ``spawn_rng(seed, "bn-trial", n, d)``, so slice ``i`` is
     bit-identical to what ``BTorus.trial(p, seeds[i], q=q)`` samples.
+    ``out`` lets streaming callers reuse one preallocated buffer across
+    sub-chunks instead of allocating a fresh stack per call.
     """
     params = torus.params
-    out = np.empty((len(seeds),) + params.shape, dtype=bool)
+    if out is None:
+        out = np.empty((len(seeds),) + params.shape, dtype=bool)
+        record_buffer(out.nbytes)
     for i, seed in enumerate(seeds):
         rng = spawn_rng(seed, "bn-trial", params.n, params.d)
         out[i] = torus.sample_faults(p, rng, q=q)
@@ -92,7 +105,9 @@ def straight_survival_batch(
     return covered, fault_rows
 
 
-def run_bn_batch(adapter, spec, seeds: Sequence[int]) -> list[TrialOutcome]:
+def run_bn_batch(
+    adapter, spec, seeds: Sequence[int], max_batch_bytes: int | None = None
+) -> list[TrialOutcome]:
     """Batched equivalent of ``[adapter.trial(spec, s) for s in seeds]``.
 
     Requires a Bernoulli ``spec`` and the ``auto`` or ``straight``
@@ -100,36 +115,47 @@ def run_bn_batch(adapter, spec, seeds: Sequence[int]) -> list[TrialOutcome]:
     Outcome sequences are identical to the scalar path: fast-classified
     trials match it by the straight-placement argument above, and every
     other trial literally runs it.
+
+    The fault stack streams through one preallocated buffer in seed
+    slices sized by ``max_batch_bytes`` (see ``fastpath/streaming.py``),
+    so peak memory is bounded by the budget, not the chunk size.  Trials
+    are sampled and classified independently, so slicing the seed axis
+    cannot change any outcome.
     """
     torus = adapter.torus
     params = adapter.params
-    faults = sample_bn_faults_batch(torus, spec.p, spec.q, seeds)
-    trials = len(seeds)
-    num_faults = faults.reshape(trials, -1).sum(axis=1)
-    covered, _ = straight_survival_batch(params, faults)
-    healths = None
-    if adapter.check_health and covered.any():
-        # Only the fast-classified slices: fallback trials recompute their
-        # health inside the scalar path anyway, so checking them here would
-        # double the dominant cost of the high-fault-rate regime.
-        from repro.fastpath.health import check_healthiness_batch
-
-        reports = check_healthiness_batch(params, faults[covered], torus.geo)
-        healths = dict(zip(np.flatnonzero(covered).tolist(), reports))
     outcomes: list[TrialOutcome] = []
-    for t, seed in enumerate(seeds):
-        if covered[t]:
-            health = healths[t] if healths is not None else None
-            outcomes.append(
-                TrialOutcome(
-                    success=True,
-                    category="ok",
-                    healthy=None if health is None else health.healthy,
-                    num_faults=int(num_faults[t]),
-                    strategy_used="straight",
-                    health=health,
+    buf: np.ndarray | None = None
+    for sub in iter_seed_slices(seeds, bn_bytes_per_trial(params), max_batch_bytes):
+        if buf is None or buf.shape[0] < len(sub):
+            buf = np.empty((len(sub),) + params.shape, dtype=bool)
+            record_buffer(buf.nbytes)
+        faults = sample_bn_faults_batch(torus, spec.p, spec.q, sub, out=buf[: len(sub)])
+        trials = len(sub)
+        num_faults = faults.reshape(trials, -1).sum(axis=1)
+        covered, _ = straight_survival_batch(params, faults)
+        healths = None
+        if adapter.check_health and covered.any():
+            # Only the fast-classified slices: fallback trials recompute their
+            # health inside the scalar path anyway, so checking them here would
+            # double the dominant cost of the high-fault-rate regime.
+            from repro.fastpath.health import check_healthiness_batch
+
+            reports = check_healthiness_batch(params, faults[covered], torus.geo)
+            healths = dict(zip(np.flatnonzero(covered).tolist(), reports))
+        for t, seed in enumerate(sub):
+            if covered[t]:
+                health = healths[t] if healths is not None else None
+                outcomes.append(
+                    TrialOutcome(
+                        success=True,
+                        category="ok",
+                        healthy=None if health is None else health.healthy,
+                        num_faults=int(num_faults[t]),
+                        strategy_used="straight",
+                        health=health,
+                    )
                 )
-            )
-        else:
-            outcomes.append(adapter.trial(spec, seed))
+            else:
+                outcomes.append(adapter.trial(spec, seed))
     return outcomes

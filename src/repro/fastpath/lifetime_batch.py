@@ -37,6 +37,7 @@ import numpy as np
 from repro.api.lifetime import LifetimeOutcome
 from repro.core.placement import _cover_rows_cyclic, place_straight_rows
 from repro.errors import ReconstructionError
+from repro.fastpath.streaming import iter_seed_slices, record_buffer
 from repro.util.rng import spawn_rng
 
 __all__ = ["run_bn_lifetime_batch"]
@@ -78,13 +79,32 @@ def _greedy_bottoms(params, rows: np.ndarray) -> np.ndarray | None:
         return None
 
 
-def run_bn_lifetime_batch(adapter, spec, seeds: Sequence[int]) -> list[LifetimeOutcome]:
+def run_bn_lifetime_batch(
+    adapter, spec, seeds: Sequence[int], max_batch_bytes: int | None = None
+) -> list[LifetimeOutcome]:
     """Batched equivalent of ``[adapter.lifetime_trial(spec, s) for s in seeds]``.
 
     Requires a uniform timeline without repairs and the ``auto`` or
     ``straight`` strategy (callers gate on
     ``adapter.supports_lifetime_batch``).
+
+    Trials advance in lockstep but are mutually independent, so the seed
+    list streams through the kernel in ``max_batch_bytes``-sized slices
+    (dominant per-trial state: the ``limit``-long arrival order and row
+    arrays) with identical outcomes — see ``fastpath/streaming.py``.
     """
+    params = adapter.params
+    size = params.num_nodes
+    limit = size if spec.max_steps is None else min(spec.max_steps, size)
+    per_trial = 16 * limit + params.m + 8 * params.num_bands
+    outcomes: list[LifetimeOutcome] = []
+    for sub in iter_seed_slices(seeds, per_trial, max_batch_bytes):
+        outcomes.extend(_run_lifetime_slice(adapter, spec, sub))
+    return outcomes
+
+
+def _run_lifetime_slice(adapter, spec, seeds: Sequence[int]) -> list[LifetimeOutcome]:
+    """One resident slice of the lockstep kernel (the pre-streaming body)."""
     torus = adapter.torus
     params = adapter.params
     m, b = params.m, params.b
@@ -95,6 +115,7 @@ def run_bn_lifetime_batch(adapter, spec, seeds: Sequence[int]) -> list[LifetimeO
     trials = len(seeds)
 
     orders = np.empty((trials, limit), dtype=np.int64)
+    record_buffer(orders.nbytes * 2)  # orders plus the derived rows array
     for i, seed in enumerate(seeds):
         rng = spawn_rng(seed, "lifetime", params.n, params.d)
         orders[i] = rng.permutation(size)[:limit]

@@ -1,0 +1,75 @@
+"""Bounded-memory sub-chunk streaming for the batched kernels.
+
+The batched backends historically allocated one ``(trials, *shape)``
+fault stack per seed chunk.  At million-node shapes a single 16-trial
+chunk is gigabytes; at million-trial counts even modest shapes are.
+This module gives every kernel the same discipline instead:
+
+* a **byte budget** (``max_batch_bytes``, default
+  :data:`DEFAULT_MAX_BATCH_BYTES`, overridable per run via
+  ``ExperimentRunner(max_batch_bytes=...)`` / the ``--max-batch-bytes``
+  CLI flag) is divided by the kernel's estimated per-trial working-set
+  bytes to get the number of trials resident at once;
+* kernels walk their seed list in slices of that size through a
+  **preallocated, reused buffer**, so worker peak memory is
+  ``O(min(chunk, budget/shape))`` — independent of the trial count;
+* every buffer allocation is reported to a per-process **peak gauge**
+  that the runner drains per chunk and surfaces in progress lines and
+  bench_e21's memory gate.
+
+Sub-chunking never changes results: each trial samples from its own
+seed-keyed generator and is classified independently, so slicing the
+seed axis is outcome-identical by construction (asserted by the
+``streaming-merge`` conformance stage).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+__all__ = [
+    "DEFAULT_MAX_BATCH_BYTES",
+    "iter_seed_slices",
+    "record_buffer",
+    "take_peak_bytes",
+    "trials_per_slice",
+]
+
+#: Default per-kernel working-set budget (64 MiB).  Big enough that the
+#: historical small-shape benchmarks run in one slice (no perf change),
+#: small enough that a 1M-node stack is cut into a handful of trials.
+DEFAULT_MAX_BATCH_BYTES = 64 * 1024 * 1024
+
+#: Largest buffer allocation reported since the last drain, per process.
+_peak_bytes = 0
+
+
+def record_buffer(nbytes: int) -> None:
+    """Report one buffer allocation to the per-process peak gauge."""
+    global _peak_bytes
+    if nbytes > _peak_bytes:
+        _peak_bytes = int(nbytes)
+
+
+def take_peak_bytes() -> int:
+    """Drain the gauge: the largest buffer since the previous drain."""
+    global _peak_bytes
+    peak, _peak_bytes = _peak_bytes, 0
+    return peak
+
+
+def trials_per_slice(bytes_per_trial: int, max_batch_bytes: int | None = None) -> int:
+    """Trials resident at once under the budget (always at least 1)."""
+    budget = DEFAULT_MAX_BATCH_BYTES if max_batch_bytes is None else int(max_batch_bytes)
+    return max(1, budget // max(1, int(bytes_per_trial)))
+
+
+def iter_seed_slices(
+    seeds: Sequence[int],
+    bytes_per_trial: int,
+    max_batch_bytes: int | None = None,
+) -> Iterator[Sequence[int]]:
+    """Walk ``seeds`` in budget-sized slices, preserving order."""
+    step = trials_per_slice(bytes_per_trial, max_batch_bytes)
+    for i in range(0, len(seeds), step):
+        yield seeds[i : i + step]

@@ -43,11 +43,13 @@ _EXPORTS = {
     "audit_embedding": "repro.testkit.oracles",
     "brute_force_healthiness": "repro.testkit.oracles",
     "check_routes_bfs": "repro.testkit.oracles",
+    "checkpoint_resume_oracle": "repro.testkit.oracles",
     "compare_sim_results": "repro.testkit.oracles",
     "healthiness_oracle": "repro.testkit.oracles",
     "repair_mode_oracle": "repro.testkit.oracles",
     "runner_backends_oracle": "repro.testkit.oracles",
     "sim_engines_oracle": "repro.testkit.oracles",
+    "streaming_merge_oracle": "repro.testkit.oracles",
     "trial_backend_oracle": "repro.testkit.oracles",
     "GoldenCase": "repro.testkit.golden",
     "GOLDEN_CASES": "repro.testkit.golden",

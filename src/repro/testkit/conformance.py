@@ -6,7 +6,11 @@ stack over a canonical scenario matrix:
 1. the golden-artifact gate (:mod:`repro.testkit.golden`) — format and
    byte-identity drift;
 2. runner-backend oracles — serial vs parallel, scalar vs batched, for
-   fault, lifetime and traffic grids on every capable construction;
+   fault, lifetime and traffic grids on every capable construction —
+   plus the streaming-execution stages: incremental merge vs the
+   materialized collect-then-merge reference (including a starved
+   ``max_batch_bytes`` budget) and checkpoint/resume byte-identity with
+   the journal cut at every chunk boundary;
 3. per-trial backend oracles — the vectorized kernels against the
    scalar loops, outcome for outcome;
 4. the repair-mode oracle — incremental vs full-recompute lifetimes;
@@ -35,10 +39,12 @@ from repro.testkit.oracles import (
     adaptive_router_oracle,
     audit_embedding,
     check_routes_bfs,
+    checkpoint_resume_oracle,
     healthiness_oracle,
     repair_mode_oracle,
     runner_backends_oracle,
     sim_engines_oracle,
+    streaming_merge_oracle,
     trial_backend_oracle,
 )
 
@@ -141,6 +147,27 @@ def run_conformance(
     for spec in _runner_specs(quick):
         report = runner_backends_oracle(spec)
         report.oracle = f"runner-backends:{spec.name}"
+        done(report)
+
+    # 2b. Streaming execution: incremental merge + checkpoint/resume -------
+    # The runner-backend matrix above already runs every spec through the
+    # streaming fold; these stages pin the *new* contracts on a bn spec
+    # with several chunks per point: streamed == materialized merge byte
+    # for byte (also under a starved sub-chunk budget), and resume from a
+    # journal cut at every chunk boundary == the uninterrupted run.
+    stream_specs = [_runner_specs(True)[0]]
+    if not quick:
+        stream_specs.append(ExperimentSpec(
+            construction="bn", params={"d": 2, "b": 3, "s": 1, "t": 2},
+            grid=(LifetimeSpec(), TrafficSpec(pattern="uniform", messages=48)),
+            trials=20, name="conf-bn-stream-mixed",
+        ))
+    for spec in stream_specs:
+        report = streaming_merge_oracle(spec)
+        report.oracle = f"streaming-merge:{spec.name}"
+        done(report)
+        report = checkpoint_resume_oracle(spec)
+        report.oracle = f"checkpoint-resume:{spec.name}"
         done(report)
 
     # 3. Per-trial kernels against their scalar loops ----------------------

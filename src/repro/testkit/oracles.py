@@ -57,6 +57,7 @@ __all__ = [
     "audit_embedding",
     "brute_force_healthiness",
     "check_routes_bfs",
+    "checkpoint_resume_oracle",
     "compare_sim_results",
     "diff_values",
     "health_record",
@@ -67,6 +68,7 @@ __all__ = [
     "runner_backends_oracle",
     "sim_engines_oracle",
     "sim_record",
+    "streaming_merge_oracle",
     "trial_backend_oracle",
 ]
 
@@ -316,6 +318,112 @@ def _first_text_divergence(a: str, b: str) -> tuple[str, str]:
         if la != lb:
             return (f"line {i + 1}: {la.strip()}", f"line {i + 1}: {lb.strip()}")
     return (f"{len(a)} chars", f"{len(b)} chars")
+
+
+def _diff_result_dict(report: OracleReport, ref: dict, got: dict,
+                      *, left: str, right: str) -> None:
+    """Field-diff two ``ExperimentResult`` dicts *and* their canonical
+    JSON text (the byte-identity contract is stricter than field
+    equality: int vs float of the same value serialises differently)."""
+    report.cases += 1
+    ms = diff_values(ref, got, oracle=report.oracle, left=left, right=right)
+    report.mismatches += ms
+    if not ms:
+        ref_text = json.dumps(ref, indent=2, sort_keys=True)
+        got_text = json.dumps(got, indent=2, sort_keys=True)
+        if got_text != ref_text:
+            report.mismatches.append(
+                Mismatch(report.oracle, left, right, "<canonical-json>",
+                         *_first_text_divergence(ref_text, got_text))
+            )
+
+
+def streaming_merge_oracle(
+    spec, *, max_batch_bytes: int = 4096, workers: int = 2
+) -> OracleReport:
+    """The streaming runner against the legacy collect-then-merge path.
+
+    The reference materialises every chunk dict up front (the pre-
+    streaming ``ExperimentRunner.run`` body: full task list, ``pool.map``
+    semantics, one-shot ``merged()`` per point) — then the incremental
+    runner must reproduce it byte for byte, serially, pooled, and under
+    a deliberately starved ``max_batch_bytes`` budget that forces the
+    kernels through many sub-chunk slices.
+    """
+    from repro.api import experiment as ex
+
+    report = OracleReport(
+        "streaming-merge",
+        ("materialized", "streamed/serial", f"streamed/parallel{workers}",
+         "streamed/tiny-budget"),
+    )
+    # Legacy reference: collect every raw chunk, merge in chunk order.
+    params_items = tuple(sorted(spec.params.items()))
+    raw = []
+    for fs in spec.grid:
+        fsd = fs.to_dict()
+        for start in range(0, spec.trials, spec.chunk_size):
+            count = min(spec.chunk_size, spec.trials - start)
+            raw.append(ex._run_chunk(
+                (spec.construction, params_items, fsd, spec.seed0 + start,
+                 count, True, None)
+            ))
+    chunks_per_point = -(-spec.trials // spec.chunk_size)
+    points = []
+    for i, fs in enumerate(spec.grid):
+        res_cls = ex._result_class(fs)
+        parts = [
+            res_cls.from_dict(raw[i * chunks_per_point + j])
+            for j in range(chunks_per_point)
+        ]
+        points.append(ex.PointResult(fault_spec=fs, result=res_cls.merged(parts)))
+    ref = ex.ExperimentResult(spec=spec, points=points).to_dict()
+
+    streamed = [
+        ("streamed/serial", ex.ExperimentRunner(workers=1)),
+        (f"streamed/parallel{workers}", ex.ExperimentRunner(workers=workers)),
+        ("streamed/tiny-budget",
+         ex.ExperimentRunner(workers=1, max_batch_bytes=max_batch_bytes)),
+    ]
+    for name, runner in streamed:
+        _diff_result_dict(report, ref, runner.run(spec).to_dict(),
+                          left="materialized", right=name)
+    return report
+
+
+def checkpoint_resume_oracle(spec, *, workers: int = 2) -> OracleReport:
+    """Kill-and-resume at every chunk boundary vs the uninterrupted run.
+
+    Executes the spec once with a journal, then simulates an interrupt
+    after each prefix of completed chunks — including zero (a fresh
+    journal with only the header) and a torn final line (a kill mid-
+    write) — and resumes each time, requiring byte-identical final JSON.
+    Resumed runs use a different worker count than the reference so the
+    oracle also covers resuming on different execution settings.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.api.experiment import ExperimentRunner
+
+    report = OracleReport("checkpoint-resume", ("uninterrupted", "resumed"))
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "journal.ndjson"
+        ref = ExperimentRunner(workers=1).run(spec, checkpoint=journal).to_dict()
+        lines = journal.read_bytes().split(b"\n")[:-1]  # drop trailing ''
+        header, chunks = lines[0], lines[1:]
+        cuts = [(f"resume@{keep}", b"\n".join([header, *chunks[:keep]]) + b"\n")
+                for keep in range(len(chunks) + 1)]
+        if chunks:  # torn final line: a kill mid-write
+            torn = b"\n".join([header, *chunks[:-1]]) + b"\n" + chunks[-1][:12]
+            cuts.append(("resume@torn-line", torn))
+        for name, content in cuts:
+            journal.write_bytes(content)
+            got = ExperimentRunner(workers=workers).run(
+                spec, checkpoint=journal, resume=True
+            ).to_dict()
+            _diff_result_dict(report, ref, got, left="uninterrupted", right=name)
+    return report
 
 
 def trial_backend_oracle(construction, spec, seeds: Sequence[int]) -> OracleReport:
