@@ -1,0 +1,304 @@
+"""E22 — the cross-model study: every construction under every fault model.
+
+Runs all six registered constructions through the standard
+``ExperimentRunner`` grids under the registered fault models (ISSUE 9):
+
+* **survival** — one-shot ``FaultSpec(fault_model=...)`` points for each
+  crash model (bernoulli / halfedge / neighbor / component) on every
+  construction, charting how recovery degrades when faults are
+  correlated (neighborhoods, component slabs) instead of independent;
+* **lifetime** — ``LifetimeSpec(fault_model=...)`` arrival streams with
+  repair on ``bn`` (the incremental-repair pillar) per crash model;
+* **byzantine traffic** — ``TrafficSpec(fault_model=...)`` workloads on
+  the ``bn`` and ``dn`` guests under Byzantine node models (uniform and
+  skewed action mixes), recording the delivery-integrity split.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_e22_faultmodels.py`` — bench-suite
+  integration (full matrix, table artifact, regenerates
+  ``BENCH_faultmodels.json`` at the repo root);
+* ``python benchmarks/bench_e22_faultmodels.py [--quick] [--check PATH]``
+  — the CI cross-model gate.  Unlike the wall-clock gates (e18/e21),
+  every number here is a *deterministic* function of spec and seed, so
+  ``--check`` compares the quick tier against the committed baseline
+  **exactly** — any drift in a sampler, an engine, a kernel or the RNG
+  key discipline fails CI with a field-level diff, on any machine.
+
+The gate also enforces two model-level invariants on every Byzantine
+point: message conservation
+(``delivered + dropped + timed_out + undeliverable == offered``) and a
+nonzero perturbation count (the model demonstrably engaged).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+FAULTMODELS_JSON = ROOT / "BENCH_faultmodels.json"
+
+#: Crash-model grid every construction runs under.  Rates are gentle so
+#: small comparator hosts keep a mix of successes and failures; the gate
+#: compares outcomes exactly, so "interesting" matters more than "hard".
+CRASH_MODELS = [
+    {"name": "bernoulli", "p": 0.004},
+    {"name": "halfedge", "q": 0.004},
+    {"name": "neighbor", "p": 0.002},
+    {"name": "component", "rate": 0.005},
+]
+
+#: Byzantine traffic points (the spec label only carries the model name,
+#: so each point gets its own row key describing the action mix).
+BYZANTINE_MODELS = [
+    ("even-mix", {"name": "byzantine", "rate": 0.08}),
+    ("drop-heavy",
+     {"name": "byzantine", "rate": 0.08, "misroute": 0.5, "drop": 2.0, "corrupt": 0.5}),
+]
+
+#: Constructions in the study — the canonical small-but-real pool the
+#: conformance suite uses (alon_chung has no torus guest, so it appears
+#: in the survival matrix only, exactly like everywhere else).
+def _constructions():
+    from repro.testkit.cases import SMALL_CONSTRUCTIONS
+
+    return SMALL_CONSTRUCTIONS
+
+
+def measure_survival(trials: int, constructions=None) -> dict:
+    """One-shot recovery under every crash model, per construction."""
+    from repro.api import ExperimentRunner, ExperimentSpec, FaultSpec
+
+    out: dict = {}
+    for key, params in constructions or _constructions():
+        spec = ExperimentSpec(
+            construction=key,
+            params=params,
+            grid=tuple(FaultSpec(fault_model=dict(m)) for m in CRASH_MODELS),
+            trials=trials,
+            name=f"e22-{key}",
+        )
+        result = ExperimentRunner().run(spec)
+        rows = {}
+        for pt in result.points:
+            rows[pt.fault_spec.label()] = {
+                "trials": pt.result.trials,
+                "successes": pt.result.successes,
+                "mean_faults": round(pt.result.mean_faults, 6),
+            }
+        out[key] = rows
+    return out
+
+
+def measure_lifetime(trials: int) -> dict:
+    """Model-driven arrival streams with repair on bn, per crash model."""
+    from repro.api import ExperimentRunner, ExperimentSpec, LifetimeSpec
+
+    grid = tuple(
+        LifetimeSpec(fault_model=dict(m), repair_rate=0.2, max_steps=40)
+        for m in CRASH_MODELS
+    )
+    spec = ExperimentSpec(
+        construction="bn",
+        params=dict(d=2, b=3, s=1, t=2),
+        grid=grid,
+        trials=trials,
+        name="e22-lifetime",
+    )
+    result = ExperimentRunner().run(spec)
+    out = {}
+    for pt in result.points:
+        lifetimes = sorted(pt.result.lifetimes)
+        out[pt.fault_spec.label()] = {
+            "trials": pt.result.trials,
+            "min_lifetime": lifetimes[0],
+            "median_lifetime": lifetimes[len(lifetimes) // 2],
+            "max_lifetime": lifetimes[-1],
+            "total_arrivals": sum(lifetimes),
+        }
+    return out
+
+
+def measure_byzantine(trials: int, messages: int) -> dict:
+    """Byzantine traffic on the bn and dn guests; conservation asserted."""
+    from repro.api import ExperimentRunner, ExperimentSpec, TrafficSpec
+
+    out: dict = {}
+    for key, params in (
+        ("bn", dict(d=2, b=3, s=1, t=2)),
+        ("dn", dict(d=2, n=70, b=2)),
+    ):
+        grid = tuple(
+            TrafficSpec(pattern="uniform", messages=messages, fault_model=dict(m))
+            for _, m in BYZANTINE_MODELS
+        )
+        spec = ExperimentSpec(
+            construction=key,
+            params=params,
+            grid=grid,
+            trials=trials,
+            name=f"e22-byz-{key}",
+        )
+        result = ExperimentRunner().run(spec)
+        rows = {}
+        for (mix_tag, _), pt in zip(BYZANTINE_MODELS, result.points):
+            label = f"{pt.fault_spec.label()} [{mix_tag}]"
+            totals = {
+                f: sum(getattr(o, f) for o in pt.result.outcomes)
+                for f in ("offered", "delivered", "timed_out", "undeliverable",
+                          "dropped", "corrupted", "misrouted")
+            }
+            conserved = (
+                totals["delivered"] + totals["dropped"] + totals["timed_out"]
+                + totals["undeliverable"] == totals["offered"]
+            )
+            perturbed = totals["dropped"] + totals["corrupted"] + totals["misrouted"]
+            assert conserved, f"{key} {label}: message counts leak"
+            assert perturbed > 0, f"{key} {label}: model never engaged"
+            rows[label] = {"trials": pt.result.trials, **totals}
+        out[key] = rows
+    return out
+
+
+#: Quick-tier sizing: the whole tier is a few seconds, and because its
+#: numbers are deterministic the committed baseline is exact on every
+#: machine.
+QUICK_SURVIVAL_TRIALS = 8
+QUICK_LIFETIME_TRIALS = 8
+QUICK_BYZ_TRIALS = 4
+QUICK_MESSAGES = 96
+
+FULL_SURVIVAL_TRIALS = 24
+FULL_LIFETIME_TRIALS = 16
+FULL_BYZ_TRIALS = 8
+FULL_MESSAGES = 160
+
+
+def measure_quick() -> dict:
+    return {
+        "survival": measure_survival(QUICK_SURVIVAL_TRIALS),
+        "lifetime": measure_lifetime(QUICK_LIFETIME_TRIALS),
+        "byzantine_traffic": measure_byzantine(QUICK_BYZ_TRIALS, QUICK_MESSAGES),
+    }
+
+
+def measure_full() -> dict:
+    return {
+        "benchmark": (
+            "cross-model study: all six constructions through the standard "
+            "runner grids under every registered fault model (crash models "
+            "in survival + lifetime, Byzantine models in traffic)"
+        ),
+        "note": (
+            "every number is a deterministic function of spec and seed, so "
+            "the CI gate (--quick --check) compares the quick tier against "
+            "this baseline EXACTLY — outcome drift in a sampler, engine, "
+            "kernel or RNG key fails the build on any machine.  Full-tier "
+            "sections use more trials for the chart; the invariants "
+            "(Byzantine message conservation, nonzero perturbations) are "
+            "asserted in both tiers."
+        ),
+        "survival": measure_survival(FULL_SURVIVAL_TRIALS),
+        "lifetime": measure_lifetime(FULL_LIFETIME_TRIALS),
+        "byzantine_traffic": measure_byzantine(FULL_BYZ_TRIALS, FULL_MESSAGES),
+        "quick": measure_quick(),
+    }
+
+
+def _diff(path: str, a, b, out: list) -> None:
+    """Recursive exact diff with JSON-path labels (baseline vs measured)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                out.append(f"{path}.{key}: missing from baseline")
+            elif key not in b:
+                out.append(f"{path}.{key}: missing from measurement")
+            else:
+                _diff(f"{path}.{key}", a[key], b[key], out)
+    elif a != b:
+        out.append(f"{path}: baseline {a!r} != measured {b!r}")
+
+
+# -- pytest integration ------------------------------------------------------
+
+
+def test_e22_faultmodel_matrix(benchmark, report):
+    from conftest import run_once
+
+    from repro.util.tables import Table
+
+    def compute():
+        data = measure_full()
+        FAULTMODELS_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        return data
+
+    data = run_once(benchmark, compute)
+
+    table = Table(
+        ["construction", "model point", "ok/trials", "mean faults"],
+        title="E22: survival under the crash-model grid",
+    )
+    for key, rows in data["survival"].items():
+        for label, row in rows.items():
+            table.add_row(
+                [key, label, f"{row['successes']}/{row['trials']}",
+                 f"{row['mean_faults']:g}"]
+            )
+    report("e22_faultmodels", table)
+
+    # Independent draws recover at independent rates: the correlated
+    # models must not silently degenerate to the Bernoulli column.
+    bn = data["survival"]["bn"]
+    assert len(bn) == len(CRASH_MODELS)
+    for rows in data["survival"].values():
+        for row in rows.values():
+            assert 0 <= row["successes"] <= row["trials"]
+
+
+# -- CLI / CI gate -----------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="measure only the deterministic quick tier "
+                         "(the CI cross-model gate)")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="compare against a committed BENCH_faultmodels.json; "
+                         "exit 1 on ANY outcome drift (exact, machine-portable)")
+    ap.add_argument("--out", metavar="PATH",
+                    help="write measurement JSON here (full mode defaults to "
+                         "BENCH_faultmodels.json)")
+    args = ap.parse_args(argv)
+
+    data = {"quick": measure_quick()} if args.quick else measure_full()
+    print(json.dumps(data, indent=2, sort_keys=True))
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    elif not args.quick:
+        FAULTMODELS_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {FAULTMODELS_JSON}")
+
+    if args.check:
+        baselines = json.loads(Path(args.check).read_text())
+        problems: list[str] = []
+        _diff("quick", baselines["quick"], data["quick"], problems)
+        if problems:
+            for line in problems:
+                print(f"cross-model gate: {line}", file=sys.stderr)
+            print(
+                "FAIL: fault-model outcomes drifted from the committed "
+                "baseline (deterministic — this is a real behaviour change)",
+                file=sys.stderr,
+            )
+            return 1
+        print("cross-model gate: quick tier matches the baseline exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
 from repro.api.registry import register
 from repro.errors import ReconstructionError
 from repro.faults.adversary import adversarial_node_faults
+from repro.faults.registry import make_fault_model, model_token
 from repro.topology.graph import CSRGraph
 from repro.util.rng import spawn_rng
 
@@ -45,10 +46,27 @@ class _AdapterBase:
     name: str = ""
 
     def _trial_rng(self, spec: FaultSpec, seed: int) -> np.random.Generator:
-        return spawn_rng(
-            seed, f"{self.name}-trial", spec.pattern, str(spec.p), str(spec.q),
+        # Model-bearing specs append the canonical model token, so their
+        # streams are independent of (and cannot perturb) the historical
+        # model-free keying.
+        keys = [
+            f"{self.name}-trial", spec.pattern, str(spec.p), str(spec.q),
             -1 if spec.k is None else spec.k,
-        )
+        ]
+        if spec.fault_model is not None:
+            keys.append(model_token(spec.fault_model))
+        return spawn_rng(seed, *keys)
+
+    def _model_faults(self, spec: FaultSpec, rng: np.random.Generator):
+        """One-shot fault state drawn from the spec's registered model.
+
+        The model samples over the adapter's lifetime shape — the node
+        array every construction's ``recover`` accepts.  One-shot trials
+        treat the sampled set as crash faults regardless of the model's
+        behavior (conservative quarantine of suspected traitors); the
+        ``byzantine`` semantics engage in the traffic engines.
+        """
+        return make_fault_model(spec.fault_model).sample(self._lifetime_shape(), rng)
 
     @staticmethod
     def _num_faults(faults) -> int:
@@ -143,6 +161,8 @@ class BnConstruction(_TorusTrafficMixin, _AdapterBase):
         return self.torus.bn.graph()
 
     def sample_faults(self, spec: FaultSpec, rng: np.random.Generator):
+        if spec.fault_model is not None:
+            return self._model_faults(spec, rng)
         if spec.adversarial:
             if spec.k is None:
                 raise ValueError("adversarial faults against bn need an explicit k")
@@ -153,7 +173,7 @@ class BnConstruction(_TorusTrafficMixin, _AdapterBase):
         return self.torus.recover(faults, strategy=self.strategy)
 
     def trial(self, spec: FaultSpec, seed: int) -> TrialOutcome:
-        if spec.adversarial:
+        if spec.adversarial or spec.fault_model is not None:
             return super().trial(spec, seed)
         # Same stream as the historical BTorus.trial driver loops.
         return self.torus.trial(
@@ -190,6 +210,7 @@ class BnConstruction(_TorusTrafficMixin, _AdapterBase):
         return (
             spec.timeline == "uniform"
             and spec.repair_rate == 0.0
+            and spec.fault_model is None
             and self.strategy in ("auto", "straight")
         )
 
@@ -273,6 +294,13 @@ class AnConstruction(_TorusTrafficMixin, _AdapterBase):
         from repro.core.an import AnFaultState
         from repro.faults.models import HalfEdgeFaults
 
+        if spec.fault_model is not None:
+            return AnFaultState(
+                node_faults=self._model_faults(spec, rng),
+                half=HalfEdgeFaults(0.0, 0),
+                p=0.0,
+                q=0.0,
+            )
         if spec.adversarial:
             raise ValueError("A^d_n models random faults only (Theorem 1)")
         h = self.params.h
@@ -289,6 +317,8 @@ class AnConstruction(_TorusTrafficMixin, _AdapterBase):
         return self.torus.recover(faults)
 
     def trial(self, spec: FaultSpec, seed: int) -> TrialOutcome:
+        if spec.fault_model is not None:
+            return super().trial(spec, seed)
         if spec.adversarial:
             raise ValueError("A^d_n models random faults only (Theorem 1)")
         # Same stream as ATorus.sample_faults(p, q, seed) driver loops.
@@ -312,9 +342,10 @@ class AnConstruction(_TorusTrafficMixin, _AdapterBase):
         )
 
     def supports_batch(self, spec: FaultSpec) -> bool:
-        """Node-fault-only points: with ``q > 0`` the greedy embedding
-        consults per-pair half-edge bits, which stay on the scalar path."""
-        return not spec.adversarial and spec.q == 0.0
+        """Node-fault-only Bernoulli points: with ``q > 0`` the greedy
+        embedding consults per-pair half-edge bits, and model-bearing specs
+        sample through the adapter; both stay on the scalar path."""
+        return not spec.adversarial and spec.q == 0.0 and spec.fault_model is None
 
     def run_batch(
         self, spec: FaultSpec, seeds: list, max_batch_bytes: int | None = None
@@ -370,6 +401,8 @@ class DnConstruction(_TorusTrafficMixin, _AdapterBase):
         return self.torus.graph()
 
     def sample_faults(self, spec: FaultSpec, rng: np.random.Generator):
+        if spec.fault_model is not None:
+            return self._model_faults(spec, rng)
         if spec.adversarial:
             k = self.params.k if spec.k is None else spec.k
             return adversarial_node_faults(self.params.shape, k, spec.pattern, rng)
@@ -429,6 +462,8 @@ class AlonChungConstruction(_AdapterBase):
         return self.torus.graph
 
     def sample_faults(self, spec: FaultSpec, rng: np.random.Generator):
+        if spec.fault_model is not None:
+            return self._model_faults(spec, rng)
         faults = np.zeros(self.num_nodes, dtype=bool)
         if spec.adversarial:
             if spec.pattern != "random":
@@ -511,6 +546,8 @@ class ReplicationConstruction(_TorusTrafficMixin, _AdapterBase):
 
     def sample_faults(self, spec: FaultSpec, rng: np.random.Generator):
         rt = self.torus
+        if spec.fault_model is not None:
+            return self._model_faults(spec, rng)
         if spec.adversarial:
             if spec.pattern != "random" or spec.k is None:
                 raise ValueError(
@@ -525,7 +562,7 @@ class ReplicationConstruction(_TorusTrafficMixin, _AdapterBase):
         return self.torus.recover(faults)
 
     def trial(self, spec: FaultSpec, seed: int) -> TrialOutcome:
-        if spec.adversarial:
+        if spec.adversarial or spec.fault_model is not None:
             return super().trial(spec, seed)
         # Same stream as ReplicatedTorus.survives(p, seed).
         faults = self.torus.sample_faults(spec.p, seed)
@@ -593,6 +630,8 @@ class SpareRowsConstruction(_TorusTrafficMixin, _AdapterBase):
 
     def sample_faults(self, spec: FaultSpec, rng: np.random.Generator):
         sr = self.torus
+        if spec.fault_model is not None:
+            return self._model_faults(spec, rng)
         if spec.adversarial:
             k = sr.tolerated if spec.k is None else spec.k
             return adversarial_node_faults((sr.m, sr.n), k, spec.pattern, rng)

@@ -217,6 +217,7 @@ def timeline_for(spec: LifetimeSpec):
         k=spec.k,
         repair_rate=spec.repair_rate,
         max_steps=spec.max_steps,
+        fault_model=spec.fault_model,
     )
 
 

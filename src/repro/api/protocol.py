@@ -52,6 +52,12 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
+from repro.faults.registry import (
+    FAULT_PATTERN_NAMES,
+    TIMELINE_KINDS,
+    validate_model_dict,
+)
+
 if TYPE_CHECKING:  # pragma: no cover
     import numpy as np
 
@@ -78,27 +84,53 @@ class FaultSpec:
     construction).  Any other pattern names an adversarial campaign from
     :data:`repro.faults.adversary.ADVERSARY_PATTERNS` with fault budget
     ``k`` (``None`` = the construction's rated budget).
+
+    ``fault_model`` replaces the pattern machinery wholesale with a
+    registered model from :mod:`repro.faults.registry`, carried as its
+    serialized ``{"name": ..., **params}`` dict.  It is mutually
+    exclusive with the legacy knobs (``p``/``q``/``k`` must stay at their
+    defaults) and serialises only when set, so model-free spec JSON is
+    byte-identical to the pre-model format.
     """
 
     p: float = 0.0
     q: float = 0.0
     pattern: str = "bernoulli"
     k: int | None = None
+    fault_model: dict | None = None
 
     def __post_init__(self) -> None:
+        if self.pattern not in FAULT_PATTERN_NAMES:
+            raise ValueError(
+                f"unknown pattern {self.pattern!r}; options: {FAULT_PATTERN_NAMES}"
+            )
         if not (0.0 <= self.p <= 1.0):
             raise ValueError(f"p={self.p} out of [0, 1]")
         if not (0.0 <= self.q <= 1.0):
             raise ValueError(f"q={self.q} out of [0, 1]")
         if self.k is not None and self.k < 0:
             raise ValueError(f"k={self.k} must be >= 0")
+        if self.fault_model is not None:
+            validate_model_dict(self.fault_model)
+            if self.p or self.q or self.pattern != "bernoulli" or self.k is not None:
+                raise ValueError(
+                    "fault_model replaces the p/q/pattern/k knobs; leave them "
+                    "at their defaults when a model is given"
+                )
 
     @property
     def adversarial(self) -> bool:
-        return self.pattern != "bernoulli"
+        return self.fault_model is None and self.pattern != "bernoulli"
 
     def label(self) -> str:
         """Compact human/JSON-key label for tables and result files."""
+        if self.fault_model is not None:
+            params = [
+                f"{key}={val:g}" if isinstance(val, float) else f"{key}={val}"
+                for key, val in sorted(self.fault_model.items())
+                if key != "name"
+            ]
+            return " ".join([f"model/{self.fault_model['name']}"] + params)
         if self.adversarial:
             return f"{self.pattern}" + (f"/k={self.k}" if self.k is not None else "")
         parts = [f"p={self.p:g}"]
@@ -107,17 +139,16 @@ class FaultSpec:
         return " ".join(parts)
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        """JSON record; ``fault_model`` serialises only when set so
+        model-free result files stay byte-stable."""
+        d = asdict(self)
+        if self.fault_model is None:
+            del d["fault_model"]
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "FaultSpec":
         return cls(**d)
-
-
-#: Timeline kinds accepted by :class:`LifetimeSpec` (mirrors
-#: :data:`repro.faults.timeline.TIMELINE_KINDS`; kept literal so this module
-#: stays import-light).
-_TIMELINE_KINDS = ("uniform", "bernoulli", "burst", "adversarial")
 
 
 @dataclass(frozen=True)
@@ -134,6 +165,12 @@ class LifetimeSpec:
     A grid point of this type makes the runner measure *lifetimes* —
     arrivals survived before recovery first fails — instead of one-shot
     trial outcomes.
+
+    ``fault_model`` swaps the timeline kind for a registered model's
+    arrival stream (its one-shot draw delivered one node per step; see
+    :class:`repro.faults.timeline.ModelTimeline`).  It composes with
+    ``repair_rate`` and ``max_steps`` but is mutually exclusive with the
+    kind-selecting knobs, and serialises only when set.
     """
 
     timeline: str = "uniform"
@@ -143,12 +180,26 @@ class LifetimeSpec:
     k: int | None = None
     repair_rate: float = 0.0
     max_steps: int | None = None
+    fault_model: dict | None = None
 
     def __post_init__(self) -> None:
-        if self.timeline not in _TIMELINE_KINDS:
+        if self.timeline not in TIMELINE_KINDS:
             raise ValueError(
-                f"unknown timeline {self.timeline!r}; options: {_TIMELINE_KINDS}"
+                f"unknown timeline {self.timeline!r}; options: {TIMELINE_KINDS}"
             )
+        if self.fault_model is not None:
+            validate_model_dict(self.fault_model)
+            if (
+                self.timeline != "uniform"
+                or self.rate
+                or self.burst
+                or self.pattern
+                or self.k is not None
+            ):
+                raise ValueError(
+                    "fault_model replaces the timeline/rate/burst/pattern/k "
+                    "knobs; leave them at their defaults when a model is given"
+                )
         if not (0.0 <= self.rate <= 1.0):
             raise ValueError(f"rate={self.rate} out of [0, 1]")
         if not (0.0 <= self.repair_rate <= 1.0):
@@ -164,13 +215,18 @@ class LifetimeSpec:
 
     def label(self) -> str:
         """Compact human/JSON-key label for tables and result files."""
-        parts = [f"life/{self.timeline}"]
-        if self.timeline == "bernoulli":
-            parts.append(f"rate={self.rate:g}")
-        elif self.timeline == "burst":
-            parts.append(f"burst={self.burst}")
-        elif self.timeline == "adversarial":
-            parts.append(self.pattern + (f"/k={self.k}" if self.k is not None else ""))
+        if self.fault_model is not None:
+            parts = [f"life/model/{self.fault_model['name']}"]
+        else:
+            parts = [f"life/{self.timeline}"]
+            if self.timeline == "bernoulli":
+                parts.append(f"rate={self.rate:g}")
+            elif self.timeline == "burst":
+                parts.append(f"burst={self.burst}")
+            elif self.timeline == "adversarial":
+                parts.append(
+                    self.pattern + (f"/k={self.k}" if self.k is not None else "")
+                )
         if self.repair_rate:
             parts.append(f"rho={self.repair_rate:g}")
         if self.max_steps is not None:
@@ -178,7 +234,12 @@ class LifetimeSpec:
         return " ".join(parts)
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        """JSON record; ``fault_model`` serialises only when set so
+        model-free result files stay byte-stable."""
+        d = asdict(self)
+        if self.fault_model is None:
+            del d["fault_model"]
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "LifetimeSpec":
@@ -236,6 +297,14 @@ class TrafficSpec:
     of the flow-control gate (0 = unlimited, the historical behaviour).
     The three fields serialise only when non-default, so existing result
     JSON is unchanged byte for byte.
+
+    ``fault_model`` runs the workload over a *perturbed* guest: a
+    registered model (dict form) is sampled per trial, and its declared
+    behavior decides the semantics — ``crash`` faults become node/edge
+    health predicates for the routers, ``byzantine`` nodes stay up but
+    misroute/drop/corrupt traversing messages per the model's mix (see
+    docs/faults.md).  It composes freely with the router/QoS knobs and
+    serialises only when set.
     """
 
     pattern: str = "uniform"
@@ -248,8 +317,11 @@ class TrafficSpec:
     router: str = "dimension"
     qos_classes: int = 1
     credits: int = 0
+    fault_model: dict | None = None
 
     def __post_init__(self) -> None:
+        if self.fault_model is not None:
+            validate_model_dict(self.fault_model)
         if self.pattern not in _TRAFFIC_PATTERNS:
             raise ValueError(
                 f"unknown pattern {self.pattern!r}; options: {_TRAFFIC_PATTERNS}"
@@ -301,11 +373,14 @@ class TrafficSpec:
             parts.append(f"qos={self.qos_classes}")
         if self.credits:
             parts.append(f"credits={self.credits}")
+        if self.fault_model is not None:
+            parts.append(f"model={self.fault_model['name']}")
         return " ".join(parts)
 
     def to_dict(self) -> dict:
-        """JSON record; the PR-7 fields serialise only when non-default so
-        result files written before routers/QoS existed stay byte-stable."""
+        """JSON record; the PR-7 fields and ``fault_model`` serialise only
+        when non-default so result files written before routers/QoS/models
+        existed stay byte-stable."""
         d = asdict(self)
         if self.router == "dimension":
             del d["router"]
@@ -313,6 +388,8 @@ class TrafficSpec:
             del d["qos_classes"]
         if not self.credits:
             del d["credits"]
+        if self.fault_model is None:
+            del d["fault_model"]
         return d
 
     @classmethod

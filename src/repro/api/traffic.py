@@ -78,6 +78,13 @@ class TrafficOutcome:
     #: graph).  Always 0 on pristine guest tori — serialised only when
     #: nonzero, so pre-router result JSON is unchanged.
     undeliverable: int = 0
+    #: Delivery-integrity counts under a Byzantine fault model (see
+    #: :class:`~repro.sim.routing.ByzantinePlan`): trial-wide totals,
+    #: whatever the measurement window.  All zero without a model, and
+    #: then omitted from JSON so pre-model result files are unchanged.
+    dropped: int = 0
+    corrupted: int = 0
+    misrouted: int = 0
     #: Per-QoS-class rows (:func:`repro.sim.metrics.per_class_stats`);
     #: ``None`` for single-class runs and then omitted from JSON.
     per_class: list | None = None
@@ -98,6 +105,9 @@ class TrafficOutcome:
         }
         if self.undeliverable:
             out["undeliverable"] = self.undeliverable
+        for key in ("dropped", "corrupted", "misrouted"):
+            if getattr(self, key):
+                out[key] = getattr(self, key)
         if self.per_class is not None:
             out["per_class"] = self.per_class
         return out
@@ -116,6 +126,9 @@ class TrafficOutcome:
             p99=float(d["p99"]),
             max_latency=float(d["max_latency"]),
             undeliverable=int(d.get("undeliverable", 0)),
+            dropped=int(d.get("dropped", 0)),
+            corrupted=int(d.get("corrupted", 0)),
+            misrouted=int(d.get("misrouted", 0)),
             per_class=d.get("per_class"),
         )
 
@@ -232,6 +245,35 @@ def traffic_rng(spec: TrafficSpec, seed: int) -> np.random.Generator:
     )
 
 
+def _model_sim_kwargs(shape, spec: TrafficSpec, seed: int) -> dict:
+    """Engine kwargs a spec's fault model adds to the trial.
+
+    The model draws its one-shot state from a dedicated
+    ``"traffic-model"`` stream (keyed by the canonical model token), so
+    the workload stream is untouched — the same messages flow over the
+    perturbed guest, and model-free trials are byte-identical to the
+    pre-model code.  ``crash`` models become router health predicates;
+    ``byzantine`` models become a :class:`~repro.sim.routing.ByzantinePlan`
+    with its own ``"traffic-byz"`` action stream.
+    """
+    if spec.fault_model is None:
+        return {}
+    from repro.faults.registry import make_fault_model, model_token
+    from repro.sim.routing import ByzantinePlan, fault_predicates
+
+    model = make_fault_model(spec.fault_model)
+    token = model_token(spec.fault_model)
+    mask = model.sample(tuple(shape), spawn_rng(seed, "traffic-model", token))
+    if model.behavior == "byzantine":
+        return {
+            "byzantine": ByzantinePlan(
+                mask, model.mix(), spawn_rng(seed, "traffic-byz", token)
+            )
+        }
+    node_ok, edge_ok = fault_predicates(mask)
+    return {"node_ok": node_ok, "edge_ok": edge_ok}
+
+
 def run_traffic_trial(
     shape: tuple[int, ...],
     spec: TrafficSpec,
@@ -244,10 +286,13 @@ def run_traffic_trial(
     ``engine`` selects the execution backend (default: the scalar
     reference engine); workload generation is identical either way, and
     conforming engines return identical ``SimResult``\\ s, so the outcome
-    never depends on the backend.
+    never depends on the backend.  A spec-carried fault model perturbs
+    the guest per trial — crash models through the health predicates,
+    Byzantine models through a route-perturbation plan (docs/faults.md).
     """
     sim = engine if engine is not None else simulate
     rng = traffic_rng(spec, seed)
+    model_kwargs = _model_sim_kwargs(shape, spec, seed)
     if spec.open_loop:
         traffic, inject = make_open_loop(
             shape, spec.pattern, spec.rate, spec.cycles, rng, injection=spec.injection
@@ -256,6 +301,7 @@ def run_traffic_trial(
         result = sim(
             shape, traffic, inject=inject, max_cycles=spec.max_cycles,
             router=spec.router, classes=classes, credits=spec.credits,
+            **model_kwargs,
         )
         stats = open_loop_stats(result, inject, warmup=spec.warmup, horizon=spec.cycles)
         per_class = None
@@ -277,6 +323,9 @@ def run_traffic_trial(
             p99=stats["p99"],
             max_latency=float(stats["max"]),
             undeliverable=result.undeliverable,
+            dropped=result.dropped,
+            corrupted=result.corrupted,
+            misrouted=result.misrouted,
             per_class=per_class,
         )
     traffic = make_traffic(shape, spec.pattern, spec.messages, rng)
@@ -284,6 +333,7 @@ def run_traffic_trial(
     result = sim(
         shape, traffic, max_cycles=spec.max_cycles,
         router=spec.router, classes=classes, credits=spec.credits,
+        **model_kwargs,
     )
     from repro.sim.metrics import latency_stats, per_class_stats
 
@@ -301,5 +351,8 @@ def run_traffic_trial(
         p99=stats["p99"],
         max_latency=float(stats["max"]),
         undeliverable=result.undeliverable,
+        dropped=result.dropped,
+        corrupted=result.corrupted,
+        misrouted=result.misrouted,
         per_class=per_class,
     )

@@ -128,11 +128,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 grid.append(FaultSpec(pattern=pat, k=args.k))
         if args.p:
             grid += [FaultSpec(p=float(p), q=args.q) for p in args.p.split(",")]
+        for text in args.fault_model:
+            grid.append(FaultSpec(fault_model=_parse_fault_model(text)))
     except ValueError as exc:
         log.error("run: invalid fault point: %s", exc)
         return 2
     if not grid:
-        log.error("run: need at least one fault point (--p and/or --pattern)")
+        log.error(
+            "run: need at least one fault point "
+            "(--p, --pattern and/or --fault-model)"
+        )
         return 2
     spec = ExperimentSpec(
         construction=args.construction,
@@ -209,15 +214,29 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
         if getattr(args, key) is not None
     }
     try:
-        lspec = LifetimeSpec(
-            timeline=args.timeline,
-            rate=args.rate,
-            burst=args.burst,
-            pattern=args.pattern,
-            k=args.k,
-            repair_rate=args.repair_rate,
-            max_steps=args.max_steps,
-        )
+        if args.fault_model:
+            # A model replaces the timeline-kind knobs wholesale; the
+            # spec's own validation rejects mixing the two vocabularies.
+            lspec = LifetimeSpec(
+                fault_model=_parse_fault_model(args.fault_model),
+                timeline=args.timeline,
+                rate=args.rate,
+                burst=args.burst,
+                pattern=args.pattern,
+                k=args.k,
+                repair_rate=args.repair_rate,
+                max_steps=args.max_steps,
+            )
+        else:
+            lspec = LifetimeSpec(
+                timeline=args.timeline,
+                rate=args.rate,
+                burst=args.burst,
+                pattern=args.pattern,
+                k=args.k,
+                repair_rate=args.repair_rate,
+                max_steps=args.max_steps,
+            )
     except ValueError as exc:
         log.error("lifetime: %s", exc)
         return 2
@@ -309,6 +328,9 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     }
     grid: list[TrafficSpec] = []
     try:
+        fault_model = (
+            _parse_fault_model(args.fault_model) if args.fault_model else None
+        )
         for pattern in args.pattern.split(","):
             if args.rate:
                 for rate in args.rate.split(","):
@@ -323,6 +345,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                             router=args.router,
                             qos_classes=args.qos_classes,
                             credits=args.credits,
+                            fault_model=fault_model,
                         )
                     )
             else:
@@ -334,6 +357,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
                         router=args.router,
                         qos_classes=args.qos_classes,
                         credits=args.credits,
+                        fault_model=fault_model,
                     )
                 )
     except ValueError as exc:
@@ -437,6 +461,26 @@ def _cmd_route(args: argparse.Namespace) -> int:
     for k, v in stats.items():
         print(f"  {k:10s} {v}")
     return 0
+
+
+def _parse_fault_model(text: str) -> dict:
+    """``name[:key=val,...]`` -> a validated fault-model dict.
+
+    The dict form is exactly what the specs carry (and serialize), so the
+    CLI never grows its own model vocabulary: names come from the
+    registry, parameter validation is the model class's own.
+    """
+    from repro.faults.registry import fault_model_names, make_fault_model
+
+    name, _, params = text.partition(":")
+    if name not in fault_model_names():
+        raise ValueError(
+            f"unknown fault model {name!r}; options: "
+            f"{', '.join(fault_model_names())}"
+        )
+    model = {"name": name, **_parse_params(params)}
+    make_fault_model(model)  # the model's own range checks
+    return model
 
 
 def _parse_param_value(text: str):
@@ -629,6 +673,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated adversarial patterns")
     p_run.add_argument("--k", type=int, default=None,
                        help="adversarial fault budget (default: construction's rating)")
+    p_run.add_argument("--fault-model", dest="fault_model", action="append",
+                       default=[], metavar="NAME[:key=val,...]",
+                       help="registered fault model as a grid point "
+                            "(repeatable), e.g. neighbor:p=0.002 or "
+                            "component:rate=0.01,width=2 — see docs/faults.md")
     p_run.add_argument("--trials", type=int, default=10)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--workers", type=int, default=1,
@@ -691,6 +740,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="adversarial: campaign pattern")
     p_life.add_argument("--k", type=int, default=None,
                         help="adversarial: planned campaign size (default: all nodes)")
+    p_life.add_argument("--fault-model", dest="fault_model", type=str, default="",
+                        metavar="NAME[:key=val,...]",
+                        help="drive arrivals from a registered fault model "
+                             "instead of --timeline (composes with "
+                             "--repair-rate/--max-steps; see docs/faults.md)")
     p_life.add_argument("--repair-rate", dest="repair_rate", type=float, default=0.0,
                         help="probability each faulty node is fixed per step")
     p_life.add_argument("--max-steps", dest="max_steps", type=int, default=None,
@@ -757,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_traffic.add_argument("--credits", type=int, default=0,
                            help="per-class in-flight message budget "
                                 "(0 = unlimited); enables credit flow control")
+    p_traffic.add_argument("--fault-model", dest="fault_model", type=str,
+                           default="", metavar="NAME[:key=val,...]",
+                           help="perturb the guest with a registered fault "
+                                "model: crash models break routes, byzantine "
+                                "nodes misroute/drop/corrupt traversing "
+                                "messages (see docs/faults.md)")
     p_traffic.add_argument("--trials", type=int, default=5)
     p_traffic.add_argument("--seed", type=int, default=0)
     p_traffic.add_argument("--workers", type=int, default=1,

@@ -124,16 +124,44 @@ def run_bn_batch(
     """
     torus = adapter.torus
     params = adapter.params
+    model = None
+    if spec.fault_model is not None:
+        from repro.faults.registry import make_fault_model
+
+        model = make_fault_model(spec.fault_model)
     outcomes: list[TrialOutcome] = []
     buf: np.ndarray | None = None
     for sub in iter_seed_slices(seeds, bn_bytes_per_trial(params), max_batch_bytes):
         if buf is None or buf.shape[0] < len(sub):
             buf = np.empty((len(sub),) + params.shape, dtype=bool)
             record_buffer(buf.nbytes)
-        faults = sample_bn_faults_batch(torus, spec.p, spec.q, sub, out=buf[: len(sub)])
+        if model is not None:
+            # Same per-seed draws as the generic adapter trial: the model
+            # samples from ``_trial_rng`` (which keys in the model token).
+            faults = buf[: len(sub)]
+            for i, seed in enumerate(sub):
+                faults[i] = model.sample(params.shape, adapter._trial_rng(spec, seed))
+        else:
+            faults = sample_bn_faults_batch(
+                torus, spec.p, spec.q, sub, out=buf[: len(sub)]
+            )
         trials = len(sub)
         num_faults = faults.reshape(trials, -1).sum(axis=1)
         covered, _ = straight_survival_batch(params, faults)
+        if model is not None:
+            # Model specs run the *generic* scalar trial, which reports no
+            # strategy or health — covered trials emit its exact outcome.
+            for t, seed in enumerate(sub):
+                if covered[t]:
+                    outcomes.append(
+                        TrialOutcome(
+                            success=True, category="ok",
+                            num_faults=int(num_faults[t]),
+                        )
+                    )
+                else:
+                    outcomes.append(adapter.trial(spec, seed))
+            continue
         healths = None
         if adapter.check_health and covered.any():
             # Only the fast-classified slices: fallback trials recompute their

@@ -31,7 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.sim.engine import SimResult
+from repro.sim.engine import SimResult, byzantine_counts
 from repro.sim.routing import ROUTERS, adaptive_route
 from repro.topology.coords import CoordCodec
 
@@ -186,6 +186,45 @@ def build_routes_batch(
     return out, lengths, routable
 
 
+def _apply_byzantine_batch(plan, shape, nodes, lengths, routable):
+    """Perturb the padded route matrix under a Byzantine plan.
+
+    Touched rows — routable, at least two hops, at least one traitor
+    intermediate — are detected with one vectorized mask, then perturbed
+    by the *same* :meth:`~repro.sim.routing.ByzantinePlan._perturb` the
+    scalar engine uses, in the same ascending-id order, consuming the
+    same rng draws; the matrix is re-padded since misroute tails can
+    exceed the old width.  Returns ``(nodes, lengths, actions)``.
+    """
+    m = len(nodes)
+    actions = np.zeros(m, dtype=np.int8)
+    if m == 0 or nodes.shape[1] <= 2:
+        return nodes, lengths, actions
+    pad = nodes < 0
+    mid = plan.byz_flat[np.where(pad, 0, nodes)]
+    mid[:, 0] = False
+    mid &= np.arange(nodes.shape[1])[None, :] < lengths[:, None]
+    mid &= ~pad
+    touched = np.flatnonzero(routable & (lengths >= 2) & mid.any(axis=1))
+    if not len(touched):
+        return nodes, lengths, actions
+    new_routes: dict[int, np.ndarray] = {}
+    lmax = nodes.shape[1] - 1
+    for i in touched:
+        route = nodes[i, : lengths[i] + 1]
+        pos = plan.first_traitor_hop(route)
+        actions[i], nr = plan._perturb(shape, route, pos)
+        new_routes[int(i)] = nr
+        lmax = max(lmax, len(nr) - 1)
+    out = np.full((m, lmax + 1), -1, dtype=np.int64)
+    out[:, : nodes.shape[1]] = nodes
+    for i, nr in new_routes.items():
+        out[i, :] = -1
+        out[i, : len(nr)] = nr
+        lengths[i] = len(nr) - 1
+    return out, lengths, actions
+
+
 def simulate_batch(
     shape: tuple[int, ...],
     traffic: np.ndarray,
@@ -197,16 +236,23 @@ def simulate_batch(
     edge_ok=None,
     classes: np.ndarray | None = None,
     credits: int = 0,
+    byzantine=None,
 ) -> SimResult:
     """Vectorized twin of :func:`repro.sim.engine.simulate`.
 
     Same signature, same semantics — routers, health predicates, QoS
-    classes and credit flow control included — and an identical
-    :class:`SimResult` field for field; only the wall clock differs.
+    classes, credit flow control and Byzantine plans included — and an
+    identical :class:`SimResult` field for field; only the wall clock
+    differs.
     """
     nodes, lengths, routable = build_routes_batch(
         shape, traffic, router=router, node_ok=node_ok, edge_ok=edge_ok
     )
+    actions = None
+    if byzantine is not None:
+        nodes, lengths, actions = _apply_byzantine_batch(
+            byzantine, shape, nodes, lengths, routable
+        )
     m = len(nodes)
     size = CoordCodec(shape).size
     if classes is None:
@@ -273,9 +319,12 @@ def simulate_batch(
                 # Credits released by deliveries feed next cycle's admission.
                 avail += np.bincount(cls[finished], minlength=num_classes)
         cycles += 1
+    dropped = corrupted = misrouted = 0
+    if actions is not None:
+        dropped, corrupted, misrouted = byzantine_counts(actions, done, latencies)
     lat = latencies[done & (latencies >= 0)]
     return SimResult(
-        delivered=int(done.sum()),
+        delivered=int(done.sum()) - dropped,
         total=m,
         latencies=np.asarray(lat),
         cycles=cycles,
@@ -283,6 +332,9 @@ def simulate_batch(
         timed_out=int((~done & routable).sum()),
         message_latencies=latencies,
         undeliverable=int((~routable).sum()),
+        dropped=dropped,
+        corrupted=corrupted,
+        misrouted=misrouted,
     )
 
 

@@ -1,29 +1,76 @@
-"""Fault models: i.i.d. random node/edge faults and adversarial campaigns."""
+"""Fault models: registered crash/Byzantine samplers, adversarial
+campaigns, and fault-arrival timelines with repair processes.
 
-from repro.faults.models import (
-    BernoulliNodeFaults,
-    HalfEdgeFaults,
-    paper_node_failure_probability,
-)
-from repro.faults.adversary import (
-    ADVERSARY_PATTERNS,
-    adversarial_node_faults,
-)
-from repro.faults.timeline import (
+The package's seam is :mod:`repro.faults.registry` — the FaultModel
+protocol, the model registry and the canonical name pools — which is
+stdlib-only at import.  The numpy-backed submodules are therefore
+re-exported lazily (PEP 562): ``from repro.faults import registry``
+or ``make_fault_model`` stays import-light, while the historical
+``from repro.faults import BernoulliNodeFaults`` style keeps working.
+"""
+
+from repro.faults.registry import (
+    ADVERSARY_PATTERN_NAMES,
+    BEHAVIORS,
+    FAULT_PATTERN_NAMES,
     TIMELINE_KINDS,
-    FaultTimeline,
-    TimelineEvent,
-    make_timeline,
+    FaultModel,
+    fault_model_names,
+    make_fault_model,
+    model_token,
+    register_model,
+    validate_model_dict,
 )
 
 __all__ = [
-    "BernoulliNodeFaults",
-    "HalfEdgeFaults",
-    "paper_node_failure_probability",
     "ADVERSARY_PATTERNS",
-    "adversarial_node_faults",
-    "TIMELINE_KINDS",
+    "ADVERSARY_PATTERN_NAMES",
+    "BEHAVIORS",
+    "BernoulliNodeFaults",
+    "ByzantineNodeFaults",
+    "ComponentFaults",
+    "FAULT_PATTERN_NAMES",
+    "FaultModel",
     "FaultTimeline",
+    "HalfEdgeFaults",
+    "NeighborFaults",
+    "TIMELINE_KINDS",
     "TimelineEvent",
+    "adversarial_node_faults",
+    "fault_model_names",
+    "make_fault_model",
     "make_timeline",
+    "model_token",
+    "paper_node_failure_probability",
+    "register_model",
+    "validate_model_dict",
 ]
+
+#: Lazily-resolved attribute -> defining submodule (PEP 562).
+_LAZY = {
+    "BernoulliNodeFaults": "repro.faults.models",
+    "ByzantineNodeFaults": "repro.faults.models",
+    "ComponentFaults": "repro.faults.models",
+    "HalfEdgeFaults": "repro.faults.models",
+    "NeighborFaults": "repro.faults.models",
+    "paper_node_failure_probability": "repro.faults.models",
+    "ADVERSARY_PATTERNS": "repro.faults.adversary",
+    "adversarial_node_faults": "repro.faults.adversary",
+    "FaultTimeline": "repro.faults.timeline",
+    "TimelineEvent": "repro.faults.timeline",
+    "make_timeline": "repro.faults.timeline",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY))

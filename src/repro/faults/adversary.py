@@ -22,6 +22,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.faults.registry import ADVERSARY_PATTERN_NAMES
+
 __all__ = ["ADVERSARY_PATTERNS", "adversarial_node_faults"]
 
 
@@ -107,6 +109,10 @@ ADVERSARY_PATTERNS: dict[str, Callable] = {
     "diagonal": _diagonal,
     "residue": _residue,
 }
+
+# The canonical name pool lives in the import-light registry; the
+# implementation table must match it key for key.
+assert tuple(sorted(ADVERSARY_PATTERNS)) == ADVERSARY_PATTERN_NAMES
 
 
 def pigeonhole_attack(params, rng: np.random.Generator) -> np.ndarray:

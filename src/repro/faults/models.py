@@ -1,4 +1,4 @@
-"""Random fault models.
+"""Fault models: the registered crash/Byzantine samplers.
 
 Two models from the paper:
 
@@ -12,6 +12,22 @@ Two models from the paper:
   bits are drawn lazily per supernode-block to avoid materialising the huge
   ``A^2_n`` edge set.
 
+Three models beyond it, motivated by the related work (see docs/faults.md):
+
+* :class:`ByzantineNodeFaults` — nodes stay up but misbehave (misroute /
+  drop / corrupt traversing messages, per a weight mix);
+* :class:`NeighborFaults` — a fault takes a node's *closed neighborhood*
+  down with it (the neighbor-connectivity model);
+* :class:`ComponentFaults` — correlated failure of axis-aligned
+  components: slabs of ``width`` consecutive hyperplanes.
+
+Every class satisfies the :class:`repro.faults.registry.FaultModel`
+protocol uniformly — a frozen, comparable dataclass with a registry
+``name``, a ``behavior`` declaration, a one-shot ``sample``, an
+``events`` timeline view of the same draw, an analytic
+``expected_faults`` and a JSON-able ``to_dict``.  Shapes are whatever
+the consuming construction samples faults over (its lifetime shape).
+
 Edge faults for constant-degree constructions are folded into node faults
 exactly as the paper prescribes ("consider an edge fault to be the fault of
 one of the incident nodes").
@@ -20,14 +36,19 @@ one of the incident nodes").
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import ClassVar, Iterator, Sequence
 
 import numpy as np
 
+from repro.faults.registry import register_model
+
 __all__ = [
     "BernoulliNodeFaults",
+    "ByzantineNodeFaults",
+    "ComponentFaults",
     "HalfEdgeFaults",
+    "NeighborFaults",
     "paper_node_failure_probability",
     "fold_edge_faults_into_nodes",
 ]
@@ -40,11 +61,48 @@ def paper_node_failure_probability(n: int, d: int) -> float:
     return math.log2(n) ** (-3 * d)
 
 
+def _size(shape: Sequence[int]) -> int:
+    size = 1
+    for s in shape:
+        size *= int(s)
+    return size
+
+
+def _one_shot_events(model, shape: Sequence[int], rng: np.random.Generator) -> Iterator:
+    """Default ``events``: one sample, arrivals permuted one per step.
+
+    Mirrors the ``uniform`` timeline's one-arrival-per-step stream so
+    model timelines compose with
+    :class:`~repro.faults.timeline.RepairTimeline` unchanged; only the
+    model's sampled fault set ever arrives.
+    """
+    from repro.faults.timeline import TimelineEvent
+
+    hit = np.flatnonzero(np.asarray(model.sample(shape, rng)).ravel())
+    order = rng.permutation(len(hit))
+    for step, j in enumerate(order):
+        yield TimelineEvent(step=step, kind="fault", node=int(hit[j]))
+
+
+class _ModelBase:
+    """Shared protocol plumbing for the frozen dataclass models."""
+
+    def events(self, shape: Sequence[int], rng: np.random.Generator) -> Iterator:
+        return _one_shot_events(self, shape, rng)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, **asdict(self)}
+
+
+@register_model
 @dataclass(frozen=True)
-class BernoulliNodeFaults:
+class BernoulliNodeFaults(_ModelBase):
     """I.i.d. node faults with probability ``p``."""
 
     p: float
+
+    name: ClassVar[str] = "bernoulli"
+    behavior: ClassVar[str] = "crash"
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.p <= 1.0):
@@ -60,7 +118,9 @@ class BernoulliNodeFaults:
         return float(self.p * np.prod(np.asarray(shape, dtype=np.float64)))
 
 
-class HalfEdgeFaults:
+@register_model
+@dataclass(frozen=True)
+class HalfEdgeFaults(_ModelBase):
     """Half-edge fault sampler for Theorem 1's edge-fault model.
 
     Every (directed) half-edge fails independently with probability
@@ -72,12 +132,20 @@ class HalfEdgeFaults:
     independently and reproducibly without storing anything.
     """
 
-    def __init__(self, q: float, root_seed: int) -> None:
-        if not (0.0 <= q <= 1.0):
-            raise ValueError(f"q={q} out of [0, 1]")
-        self.q = q
-        self.sqrt_q = math.sqrt(q)
-        self.root_seed = int(root_seed)
+    q: float
+    root_seed: int = 0
+
+    name: ClassVar[str] = "halfedge"
+    behavior: ClassVar[str] = "crash"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.q <= 1.0):
+            raise ValueError(f"q={self.q} out of [0, 1]")
+        object.__setattr__(self, "root_seed", int(self.root_seed))
+
+    @property
+    def sqrt_q(self) -> float:
+        return math.sqrt(self.q)
 
     def half_block(self, src_block: int, dst_block: int, shape: tuple[int, int]) -> np.ndarray:
         """Fault bits of half-edges *at the src side* for the ordered
@@ -95,6 +163,146 @@ class HalfEdgeFaults:
         hu = self.half_block(block_u, block_v, (h_u, h_v))
         hv = self.half_block(block_v, block_u, (h_v, h_u))
         return hu & hv.T
+
+    def sample(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        """Node-state view: half-edge faults fail no node outright."""
+        return np.zeros(tuple(shape), dtype=bool)
+
+    def expected_faults(self, shape: Sequence[int]) -> float:
+        """Expected faulty *edges* of the ``shape`` torus (q per edge)."""
+        return float(self.q * _size(shape) * len(tuple(shape)))
+
+
+@register_model
+@dataclass(frozen=True)
+class ByzantineNodeFaults(_ModelBase):
+    """Each node independently Byzantine with probability ``rate``.
+
+    Byzantine nodes stay up — they keep routing — but a message whose
+    route traverses one as an *intermediate* hop is perturbed according
+    to the behavior mix: ``misroute`` forwards it to a wrong neighbor
+    (it still arrives, late), ``drop`` discards it at the traitor,
+    ``corrupt`` delivers it on time with damaged payload.  The weights
+    need not sum to one; they are normalised (see :meth:`mix`).
+    """
+
+    rate: float
+    misroute: float = 1.0
+    drop: float = 1.0
+    corrupt: float = 1.0
+
+    name: ClassVar[str] = "byzantine"
+    behavior: ClassVar[str] = "byzantine"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate={self.rate} out of [0, 1]")
+        for w in ("misroute", "drop", "corrupt"):
+            if getattr(self, w) < 0:
+                raise ValueError(f"{w} weight must be >= 0, got {getattr(self, w)}")
+        if self.misroute + self.drop + self.corrupt <= 0:
+            raise ValueError("behavior mix weights must not all be zero")
+
+    def mix(self) -> tuple[float, float, float]:
+        """Normalised (misroute, drop, corrupt) action probabilities."""
+        total = self.misroute + self.drop + self.corrupt
+        return (self.misroute / total, self.drop / total, self.corrupt / total)
+
+    def sample(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        if self.rate == 0.0:
+            return np.zeros(tuple(shape), dtype=bool)
+        return rng.random(tuple(shape)) < self.rate
+
+    def expected_faults(self, shape: Sequence[int]) -> float:
+        return float(self.rate * _size(shape))
+
+
+@register_model
+@dataclass(frozen=True)
+class NeighborFaults(_ModelBase):
+    """Correlated crash faults: a failure takes the node's *closed*
+    neighborhood down with it (the neighbor-connectivity model).
+
+    Centers are drawn i.i.d. with probability ``p``; the fault set is
+    the union of the centers' closed torus neighborhoods, so a node is
+    faulty iff any member of its own closed neighborhood is a center.
+    """
+
+    p: float
+
+    name: ClassVar[str] = "neighbor"
+    behavior: ClassVar[str] = "crash"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.p <= 1.0):
+            raise ValueError(f"p={self.p} out of [0, 1]")
+
+    def sample(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        shape = tuple(shape)
+        centers = rng.random(shape) < self.p
+        out = centers.copy()
+        for axis, n in enumerate(shape):
+            if n < 2:
+                continue
+            out |= np.roll(centers, 1, axis=axis)
+            out |= np.roll(centers, -1, axis=axis)
+        return out
+
+    def _neighborhood(self, shape: Sequence[int]) -> int:
+        """Closed-neighborhood size of any node on the ``shape`` torus."""
+        return 1 + sum(2 if n > 2 else 1 for n in shape if n >= 2)
+
+    def expected_faults(self, shape: Sequence[int]) -> float:
+        # Faulty iff any of the nbhd distinct closed-neighborhood members
+        # is a center — exact, not a union bound.
+        miss = (1.0 - self.p) ** self._neighborhood(tuple(shape))
+        return float(_size(shape) * (1.0 - miss))
+
+
+@register_model
+@dataclass(frozen=True)
+class ComponentFaults(_ModelBase):
+    """Correlated crash faults of axis-aligned components.
+
+    Along every axis, each coordinate independently starts a failed slab
+    with probability ``rate``; a slab spans ``width`` consecutive
+    hyperplanes (wrapping around the torus).  Models shared-component
+    failures — a row driver, a backplane, a link group — rather than
+    independent nodes.
+    """
+
+    rate: float
+    width: int = 1
+
+    name: ClassVar[str] = "component"
+    behavior: ClassVar[str] = "crash"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"rate={self.rate} out of [0, 1]")
+        if self.width < 1:
+            raise ValueError(f"width must be >= 1, got {self.width}")
+
+    def sample(self, shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+        shape = tuple(shape)
+        out = np.zeros(shape, dtype=bool)
+        for axis, n in enumerate(shape):
+            starts = rng.random(n) < self.rate
+            sel = starts.copy()
+            for off in range(1, min(self.width, n)):
+                sel |= np.roll(starts, off)
+            if sel.any():
+                index = [slice(None)] * len(shape)
+                index[axis] = sel
+                out[tuple(index)] = True
+        return out
+
+    def expected_faults(self, shape: Sequence[int]) -> float:
+        # A coordinate on axis a is covered iff any of the min(width, n_a)
+        # start positions behind it fired; a node survives iff every one
+        # of its coordinates is uncovered — exact by independence.
+        exponent = sum(min(self.width, int(n)) for n in shape)
+        return float(_size(shape) * (1.0 - (1.0 - self.rate) ** exponent))
 
 
 def fold_edge_faults_into_nodes(

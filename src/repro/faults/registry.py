@@ -1,0 +1,174 @@
+"""The FaultModel protocol, its registry, and the canonical name pools.
+
+This module is the single seam every layer consumes instead of pattern
+literals: specs validate model dicts here, engines ask a model for its
+``behavior`` semantics, the testkit derives its name pools from here,
+and the CLI lists these names in its errors.  It is deliberately
+**stdlib-only at import time** (no numpy) so :mod:`repro.api.protocol`
+can import it at module top and stay import-light; the numpy-backed
+model classes in :mod:`repro.faults.models` are pulled in lazily, the
+first time a model dict is actually resolved.
+
+A *fault model* is anything satisfying :class:`FaultModel`:
+
+* ``name`` — its registry key (``"bernoulli"``, ``"byzantine"``, ...);
+* ``behavior`` — ``"crash"`` (faulty elements drop out of the machine)
+  or ``"byzantine"`` (faulty nodes stay up and misbehave: misroute,
+  drop or corrupt traversing messages);
+* ``sample(shape, rng)`` — one-shot boolean fault state over ``shape``;
+* ``events(shape, rng)`` — the same draw unrolled into a fault-arrival
+  timeline (one :class:`~repro.faults.timeline.TimelineEvent` per
+  step), composable with repair streams;
+* ``expected_faults(shape)`` — the analytic mean of ``sample().sum()``;
+* ``to_dict()`` — the serialized form ``{"name": ..., **params}``.
+
+Specs carry models as plain dicts (``{"name": "byzantine",
+"rate": 0.05}``) so serialization stays trivially JSON-stable;
+:func:`make_fault_model` turns the dict back into the registered class
+and :func:`model_token` canonicalises it into the RNG-key token that
+keeps model-bearing trial streams independent of the model-free ones.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+__all__ = [
+    "ADVERSARY_PATTERN_NAMES",
+    "BEHAVIORS",
+    "FAULT_PATTERN_NAMES",
+    "TIMELINE_KINDS",
+    "FaultModel",
+    "fault_model_names",
+    "get_model_class",
+    "make_fault_model",
+    "model_token",
+    "register_model",
+    "validate_model_dict",
+]
+
+#: Behavior semantics a model may declare.  ``crash`` faults remove the
+#: element from the machine (the paper's model); ``byzantine`` nodes stay
+#: up and misbehave in the traffic engines.
+BEHAVIORS = ("crash", "byzantine")
+
+#: Canonical adversarial campaign names — the single source the
+#: ``repro.faults.adversary`` pattern table, spec validation and the
+#: testkit pools all derive from (they historically each kept a literal
+#: copy guarded by sync tests).
+ADVERSARY_PATTERN_NAMES = ("cluster", "cols", "diagonal", "random", "residue", "rows")
+
+#: Every valid ``FaultSpec.pattern``: the Bernoulli default plus the
+#: adversarial campaigns.
+FAULT_PATTERN_NAMES = ("bernoulli",) + ADVERSARY_PATTERN_NAMES
+
+#: Canonical fault-arrival timeline kinds (``repro.faults.timeline``
+#: builds them; ``LifetimeSpec`` validates against them).
+TIMELINE_KINDS = ("uniform", "bernoulli", "burst", "adversarial")
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """Structural interface of a registered fault model."""
+
+    name: str
+    behavior: str
+
+    def sample(self, shape, rng: "np.random.Generator") -> "np.ndarray":
+        """One-shot boolean fault state over ``shape``."""
+        ...  # pragma: no cover - protocol
+
+    def events(self, shape, rng: "np.random.Generator") -> Iterable:
+        """The model's draw as a fault-arrival timeline event stream."""
+        ...  # pragma: no cover - protocol
+
+    def expected_faults(self, shape) -> float:
+        """Analytic expectation of ``sample(shape, rng).sum()``."""
+        ...  # pragma: no cover - protocol
+
+    def to_dict(self) -> dict:
+        """Serialized form: ``{"name": self.name, **params}``."""
+        ...  # pragma: no cover - protocol
+
+
+_REGISTRY: dict[str, type] = {}
+_LOADED = False
+
+
+def register_model(cls: type) -> type:
+    """Class decorator: register ``cls`` under its ``name`` attribute."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise TypeError(f"{cls.__name__} needs a class-level `name` string")
+    if getattr(cls, "behavior", None) not in BEHAVIORS:
+        raise TypeError(
+            f"{cls.__name__}.behavior must be one of {BEHAVIORS}"
+        )
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(f"fault model {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def _load() -> None:
+    """Pull in the model definitions (numpy-heavy) exactly once."""
+    global _LOADED
+    if not _LOADED:
+        import repro.faults.models  # noqa: F401  (registers via decorator)
+
+        _LOADED = True
+
+
+def fault_model_names() -> tuple[str, ...]:
+    """Sorted registry keys — the names spec errors and the CLI list."""
+    _load()
+    return tuple(sorted(_REGISTRY))
+
+
+def get_model_class(name: str) -> type:
+    _load()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {name!r}; options: {', '.join(fault_model_names())}"
+        ) from None
+
+
+def make_fault_model(d: dict) -> FaultModel:
+    """Instantiate the registered model a ``{"name": ..., **params}``
+    dict describes; parameter validation is the model's own."""
+    if not isinstance(d, dict) or not isinstance(d.get("name"), str):
+        raise ValueError(
+            "fault_model must be a dict with a 'name' key; options: "
+            f"{', '.join(fault_model_names())}"
+        )
+    cls = get_model_class(d["name"])
+    params = {k: v for k, v in d.items() if k != "name"}
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ValueError(f"bad {d['name']!r} fault-model parameters: {exc}") from exc
+
+
+def validate_model_dict(d: dict) -> None:
+    """Raise ``ValueError`` unless ``d`` resolves to a valid model.
+
+    Instantiates the model so its own ``__post_init__`` range checks run
+    — the one place spec validation and CLI parsing both defer to.
+    """
+    make_fault_model(d)
+
+
+def model_token(d: dict) -> str:
+    """Canonical RNG-key token of a model dict.
+
+    Deterministic across processes (sorted keys, no whitespace), and
+    appended to a trial's RNG key *only* when a spec carries a model —
+    model-free streams stay byte-identical to the pre-model code.
+    """
+    return json.dumps(d, sort_keys=True, separators=(",", ":"))

@@ -42,12 +42,14 @@ from typing import Iterator, Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.faults.adversary import ADVERSARY_PATTERNS
+from repro.faults.registry import TIMELINE_KINDS, make_fault_model
 
 __all__ = [
     "AdversarialTimeline",
     "BernoulliTimeline",
     "BurstTimeline",
     "FaultTimeline",
+    "ModelTimeline",
     "RepairTimeline",
     "TIMELINE_KINDS",
     "TimelineEvent",
@@ -195,7 +197,10 @@ class RepairTimeline:
     (``bernoulli``, ``burst``) genuinely re-fault repaired nodes.
     """
 
-    inner: "UniformTimeline | BernoulliTimeline | BurstTimeline | AdversarialTimeline"
+    inner: (
+        "UniformTimeline | BernoulliTimeline | BurstTimeline | "
+        "AdversarialTimeline | ModelTimeline"
+    )
     repair_rate: float
     name: str = "repair"
 
@@ -231,7 +236,25 @@ class RepairTimeline:
                 step += 1
 
 
-TIMELINE_KINDS: tuple[str, ...] = ("uniform", "bernoulli", "burst", "adversarial")
+@dataclass(frozen=True)
+class ModelTimeline:
+    """A registered fault model's one-shot draw as an arrival stream.
+
+    Samples the model once, then delivers its fault set one node per
+    step in a random order (the model's own ``events`` default) — the
+    model analogue of :class:`UniformTimeline`, and like it composable
+    with :class:`RepairTimeline`.  ``model`` is the serialized
+    ``{"name": ..., **params}`` dict (hashable-field-free dataclasses
+    don't nest in frozen specs; the dict is the canonical form anyway).
+    """
+
+    model: dict
+    name: str = "model"
+
+    def events(self, shape, rng) -> Iterator[TimelineEvent]:
+        return make_fault_model(dict(self.model)).events(
+            tuple(int(s) for s in shape), rng
+        )
 
 
 def make_timeline(
@@ -243,13 +266,22 @@ def make_timeline(
     k: int | None = None,
     repair_rate: float = 0.0,
     max_steps: int | None = None,
+    fault_model: dict | None = None,
 ) -> FaultTimeline:
     """Build a timeline from :class:`~repro.api.protocol.LifetimeSpec` fields.
 
     ``max_steps`` bounds the step-driven kinds (``bernoulli``/``burst``
     require it — their streams are otherwise endless); ``repair_rate > 0``
-    wraps the result in a :class:`RepairTimeline`.
+    wraps the result in a :class:`RepairTimeline`.  A ``fault_model``
+    dict replaces the timeline kind outright: the model's sampled fault
+    set arrives one node per step (:class:`ModelTimeline`), still
+    composable with the repair process.
     """
+    if fault_model is not None:
+        tl: FaultTimeline = ModelTimeline(model=fault_model)
+        if repair_rate > 0.0:
+            tl = RepairTimeline(inner=tl, repair_rate=repair_rate)
+        return tl
     if kind == "uniform":
         tl: FaultTimeline = UniformTimeline()
     elif kind == "bernoulli":

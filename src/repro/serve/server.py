@@ -310,14 +310,22 @@ class ReproServer:
             }
         if op == "event":
             actor = self._actor(frame.get("machine"))
-            return await actor.apply_event(frame.get("kind"), frame.get("node"))
+            model = frame.get("model")
+            return await actor.apply_event(
+                frame.get("kind"),
+                frame.get("node"),
+                model=None if model is None else str(model),
+            )
         if op == "events":
             actor = self._actor(frame.get("machine"))
             events = frame.get("events")
             if not isinstance(events, list) or not all(
-                isinstance(e, (list, tuple)) and len(e) == 2 for e in events
+                isinstance(e, (list, tuple)) and len(e) in (2, 3) for e in events
             ):
-                raise ServeError("'events' must be a list of [kind, node] pairs")
+                raise ServeError(
+                    "'events' must be a list of [kind, node] or "
+                    "[kind, node, model] entries"
+                )
             return {"results": await actor.apply_events(events)}
         if op == "traffic":
             actor = self._actor(frame.get("machine"))

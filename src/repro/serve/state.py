@@ -45,6 +45,7 @@ from repro.api.lifetime import timeline_for
 from repro.api.protocol import LifetimeSpec
 from repro.api.registry import get
 from repro.errors import ReconstructionError
+from repro.faults.registry import fault_model_names
 from repro.serve.telemetry import MachineTelemetry
 from repro.sim.metrics import latency_stats
 from repro.sim.traffic import make_traffic
@@ -107,6 +108,9 @@ class MachineState:
     #: Monotone per-machine sequence number of *applied* mutations — the
     #: serialisation witness concurrent clients observe.
     seq: int = field(init=False, default=0)
+    #: Fault arrivals per fault-model tag — populated only by model-tagged
+    #: ``event`` frames, so untagged sessions keep a byte-identical digest.
+    model_faults: dict = field(init=False, default_factory=dict)
     telemetry: MachineTelemetry = field(init=False, default_factory=MachineTelemetry)
 
     def __post_init__(self) -> None:
@@ -149,7 +153,7 @@ class MachineState:
 
     # -- mutation (must be called under the actor's lock) --------------------
 
-    def apply_event(self, kind: str, node: int) -> dict:
+    def apply_event(self, kind: str, node: int, model: str | None = None) -> dict:
         """Apply one fault/repair event; returns the applied record.
 
         ``action`` is ``"masked"`` / ``"replaced"`` / ``"repaired"`` for
@@ -157,12 +161,25 @@ class MachineState:
         machine, ``"dead"`` for events acknowledged-but-ignored after
         death — exactly the offline driver's semantics, where the trial
         stops consuming the timeline at the first unrecoverable arrival.
+
+        ``model`` optionally tags a fault event with the registered
+        :mod:`repro.faults` model that produced it (e.g. an operator
+        relaying a ``ByzantineNodeFaults`` sample); applied fault
+        arrivals are tallied per tag in :attr:`model_faults` and the
+        tally is surfaced in :meth:`digest` / :meth:`telemetry_snapshot`
+        only when non-empty.
         """
         node = int(node)
         if not (0 <= node < self._flat.size):
             raise ValueError(f"node {node} out of range [0, {self._flat.size})")
         if kind not in ("fault", "repair"):
             raise ValueError(f"unknown event kind {kind!r} (fault | repair)")
+        if model is not None:
+            names = fault_model_names()
+            if model not in names:
+                raise ValueError(
+                    f"unknown fault model {model!r}; options: {', '.join(names)}"
+                )
         if not self.alive:
             self.telemetry.record_event(kind, "dead")
             return {"seq": self.seq, "action": "dead", "num_faults": self.num_faults,
@@ -171,6 +188,8 @@ class MachineState:
             action = self._apply_repair(node)
             self.repaired += 1
         else:
+            if model is not None:
+                self.model_faults[model] = self.model_faults.get(model, 0) + 1
             try:
                 action = self._apply_fault(node)
             except ReconstructionError as exc:
@@ -351,6 +370,8 @@ class MachineState:
             "repair_backlog": self.num_faults,
             "seq": self.seq,
         }
+        if self.model_faults:
+            state["model_faults"] = {k: int(v) for k, v in sorted(self.model_faults.items())}
         if health:
             state["health"] = self.health()
         return self.telemetry.snapshot(state)
@@ -376,6 +397,11 @@ class MachineState:
             "num_faults": self.num_faults,
             "fault_nodes": [int(i) for i in np.flatnonzero(self._flat)],
         }
+        if self.model_faults:
+            # Only when model-tagged events were ingested: untagged sessions
+            # (and offline_digest, whose driver has no tags) omit the key, so
+            # online/offline byte-identity is preserved.
+            out["model_faults"] = {k: int(v) for k, v in sorted(self.model_faults.items())}
         if self._online is not None and self._online.recovery is not None:
             rec = self._online.recovery
             out["bottoms"] = [int(b) for b in np.asarray(rec.bands.bottoms).ravel()]
@@ -467,14 +493,23 @@ class MachineActor:
         self.state = state
         self._lock = asyncio.Lock()
 
-    async def apply_event(self, kind: str, node: int) -> dict:
+    async def apply_event(self, kind: str, node: int, model: str | None = None) -> dict:
         async with self._lock:
-            return self.state.apply_event(kind, node)
+            return self.state.apply_event(kind, node, model=model)
 
     async def apply_events(self, events: Sequence[Sequence]) -> list[dict]:
-        """Apply a batch atomically — one lock hold, no interleaving."""
+        """Apply a batch atomically — one lock hold, no interleaving.
+
+        Each event is ``(kind, node)`` or ``(kind, node, model)``; the
+        optional third element is a fault-model tag (see
+        :meth:`MachineState.apply_event`).
+        """
         async with self._lock:
-            return [self.state.apply_event(str(k), int(n)) for k, n in events]
+            out = []
+            for e in events:
+                model = None if len(e) < 3 or e[2] is None else str(e[2])
+                out.append(self.state.apply_event(str(e[0]), int(e[1]), model=model))
+            return out
 
 
 def scripted_session(

@@ -54,13 +54,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.sim.routing import (
+    BYZ_CORRUPT,
+    BYZ_DROP,
+    BYZ_MISROUTE,
     ROUTERS,
     adaptive_route,
     dimension_ordered_route,
     route_is_healthy,
 )
 
-__all__ = ["SimResult", "simulate"]
+__all__ = ["SimResult", "byzantine_counts", "simulate"]
 
 
 @dataclass
@@ -90,6 +93,16 @@ class SimResult:
     #: ``timed_out`` — these were refused at the door, not stranded by
     #: the horizon.
     undeliverable: int = 0
+    #: Delivery-integrity accounting under a Byzantine plan (all zero
+    #: without one).  ``dropped`` — swallowed by a traitor (never
+    #: delivered, latency ``-1``, not in ``delivered`` or ``timed_out``);
+    #: ``corrupted`` — delivered on time with damaged payload;
+    #: ``misrouted`` — delivered late via a traitor's wrong forward.
+    #: Corrupted/misrouted messages *are* counted in ``delivered`` — the
+    #: network moved them; only their integrity is suspect.
+    dropped: int = 0
+    corrupted: int = 0
+    misrouted: int = 0
 
     @property
     def throughput(self) -> float:
@@ -124,6 +137,28 @@ def _build_routes(shape, traffic, router, node_ok, edge_ok):
     return routes
 
 
+def byzantine_counts(actions, done, latencies):
+    """Fold a Byzantine plan's per-message actions into integrity counts.
+
+    Shared by the scalar engine and the vectorized kernel so their
+    accounting cannot drift: messages a traitor dropped *completed* their
+    truncated route (the engine "delivered" them to the traitor), so here
+    their latency reverts to the ``-1`` sentinel and they leave the
+    delivered count; corrupt/misroute deliveries keep their latency and
+    only tick the integrity counters.  Returns
+    ``(dropped, corrupted, misrouted)`` for the messages flagged done.
+    """
+    actions = np.asarray(actions)
+    done = np.asarray(done, dtype=bool)
+    drop = (actions == BYZ_DROP) & done
+    latencies[drop] = -1
+    return (
+        int(drop.sum()),
+        int(((actions == BYZ_CORRUPT) & done).sum()),
+        int(((actions == BYZ_MISROUTE) & done).sum()),
+    )
+
+
 def _check_classes(classes, m, credits):
     """Validated per-message class array (always present, default all-0)."""
     if classes is None:
@@ -150,6 +185,7 @@ def simulate(
     edge_ok=None,
     classes: np.ndarray | None = None,
     credits: int = 0,
+    byzantine=None,
 ) -> SimResult:
     """Run all (src, dst) messages to completion (or ``max_cycles``).
 
@@ -158,9 +194,16 @@ def simulate(
     during cycle ``inject[i]`` and its latency counts from that cycle.
     ``router``/``node_ok``/``edge_ok`` select fault-aware routing,
     ``classes``/``credits`` QoS arbitration and credit flow control (see
-    the module docstring).
+    the module docstring).  ``byzantine`` — an optional
+    :class:`~repro.sim.routing.ByzantinePlan`: traitor nodes stay up
+    (health predicates never see them) but the plan perturbs routes
+    before the clock starts and the integrity counters report what the
+    traitors did (see docs/faults.md).
     """
     routes = _build_routes(shape, traffic, router, node_ok, edge_ok)
+    actions = None
+    if byzantine is not None:
+        routes, actions = byzantine.apply(shape, routes)
     cls = _check_classes(classes, len(routes), credits)
     num_classes = int(cls.max()) + 1 if len(cls) else 1
     # message state: position index into its route
@@ -238,12 +281,15 @@ def simulate(
             nxt_live.extend(q[1:])  # losers retry next cycle
         live = sorted(set(nxt_live))
         cycles += 1
+    dropped = corrupted = misrouted = 0
+    if actions is not None:
+        dropped, corrupted, misrouted = byzantine_counts(actions, done, latencies)
     # Undelivered messages keep their -1 sentinel in ``latencies``; filter
     # them out so downstream stats can never average a sentinel, and count
     # them explicitly.
     lat = latencies[done & (latencies >= 0)]
     return SimResult(
-        delivered=int(done.sum()),
+        delivered=int(done.sum()) - dropped,
         total=len(routes),
         latencies=np.asarray(lat),
         cycles=cycles,
@@ -251,4 +297,7 @@ def simulate(
         timed_out=int((~done).sum()) - undeliverable,
         message_latencies=latencies,
         undeliverable=undeliverable,
+        dropped=dropped,
+        corrupted=corrupted,
+        misrouted=misrouted,
     )

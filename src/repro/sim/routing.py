@@ -33,6 +33,11 @@ import numpy as np
 from repro.topology.coords import CoordCodec
 
 __all__ = [
+    "BYZ_CORRUPT",
+    "BYZ_DROP",
+    "BYZ_MISROUTE",
+    "BYZ_NONE",
+    "ByzantinePlan",
     "ROUTERS",
     "adaptive_route",
     "all_pairs_mean_distance",
@@ -217,6 +222,90 @@ def adaptive_route(
     while path[-1] != src:
         path.append(parent[path[-1]])
     return np.array(path[::-1], dtype=np.int64)
+
+
+#: Per-message Byzantine action codes (``SimResult`` accounting keys).
+BYZ_NONE, BYZ_MISROUTE, BYZ_DROP, BYZ_CORRUPT = 0, 1, 2, 3
+
+
+class ByzantinePlan:
+    """Deterministic per-trial plan of Byzantine node behaviour.
+
+    ``byz_mask`` marks the traitor nodes (they stay *up* — health
+    predicates never see them); ``mix`` is the normalised
+    ``(misroute, drop, corrupt)`` action distribution of
+    :meth:`repro.faults.models.ByzantineNodeFaults.mix`; ``rng`` is the
+    plan's own dedicated stream.  A message is perturbed at the *first*
+    traitor its route traverses as an intermediate hop (endpoints are
+    trusted to inject/consume their own messages — the classic
+    convention), and at most once:
+
+    * ``misroute`` — the traitor forwards it to a wrong neighbour; the
+      tail is re-routed e-cube from there, so the message still arrives,
+      late (the detour is genuine extra hops, visible in latency);
+    * ``drop`` — the traitor swallows it: the route is truncated at the
+      traitor and the message is never delivered (``latency -1``);
+    * ``corrupt`` — delivered on time with damaged payload (route
+      unchanged; only the integrity accounting notices).
+
+    Determinism contract: actions are drawn in ascending message-id
+    order and *only* for messages that actually traverse a traitor, so
+    the scalar engine and the vectorized kernel — which detects touched
+    messages differently — consume identical draws and produce identical
+    plans.  The scalar and batched engines share :meth:`apply` outright.
+    """
+
+    def __init__(self, byz_mask, mix, rng) -> None:
+        self.byz_flat = np.asarray(byz_mask, dtype=bool).ravel()
+        self.mix = tuple(float(w) for w in mix)
+        if len(self.mix) != 3:
+            raise ValueError("mix must be (misroute, drop, corrupt)")
+        self.rng = rng
+
+    def first_traitor_hop(self, route) -> int:
+        """Index of the first Byzantine *intermediate* hop, or -1."""
+        route = np.asarray(route, dtype=np.int64)
+        if len(route) <= 2:
+            return -1
+        hits = np.flatnonzero(self.byz_flat[route[1:-1]])
+        return int(hits[0]) + 1 if len(hits) else -1
+
+    def _perturb(self, shape, route, pos: int):
+        """One action draw for a message whose hop ``pos`` is a traitor."""
+        route = np.asarray(route, dtype=np.int64)
+        u = float(self.rng.random())
+        if u < self.mix[0]:
+            codec = CoordCodec(shape)
+            here, nxt, dst = int(route[pos]), int(route[pos + 1]), int(route[-1])
+            wrongs = [v for v in _torus_neighbors(codec, here) if v != nxt]
+            if not wrongs:  # degree-1 corner case: nowhere wrong to send it
+                return BYZ_CORRUPT, route
+            wrong = wrongs[int(self.rng.integers(len(wrongs)))]
+            tail = dimension_ordered_route(shape, wrong, dst)
+            return BYZ_MISROUTE, np.concatenate([route[: pos + 1], tail])
+        if u < self.mix[0] + self.mix[1]:
+            return BYZ_DROP, np.ascontiguousarray(route[: pos + 1])
+        return BYZ_CORRUPT, route
+
+    def apply(self, shape, routes):
+        """Perturb ``routes`` in place-order; returns ``(routes, actions)``.
+
+        ``routes`` is the engine's per-message route list (``None`` =
+        undeliverable, untouched); ``actions`` the per-message
+        ``BYZ_*`` codes.  Dropped messages keep their truncated route —
+        the engine delivers them *to the traitor* and the accounting
+        (:func:`repro.sim.engine.byzantine_counts`) reclassifies them.
+        """
+        actions = np.zeros(len(routes), dtype=np.int8)
+        out = list(routes)
+        for i, route in enumerate(out):
+            if route is None:
+                continue
+            pos = self.first_traitor_hop(route)
+            if pos < 0:
+                continue
+            actions[i], out[i] = self._perturb(shape, route, pos)
+        return out, actions
 
 
 def all_pairs_mean_distance(shape: tuple[int, ...]) -> float:

@@ -9,11 +9,13 @@ to the hypothesis strategies, so tests keep a single import surface.
 
 from __future__ import annotations
 
-from repro.api.protocol import LifetimeSpec
+from repro.api.protocol import _TRAFFIC_PATTERNS, _TRAFFIC_ROUTERS, LifetimeSpec
+from repro.faults.registry import ADVERSARY_PATTERN_NAMES
 
 __all__ = [
     "ADVERSARY_PATTERN_NAMES",
     "BN_PARAM_SETS",
+    "FAULT_MODEL_CASES",
     "NON_POW2_SHAPES",
     "ROUTER_NAMES",
     "SMALL_CONSTRUCTIONS",
@@ -39,17 +41,26 @@ UNIVERSAL_SHAPES = [(4, 4), (8, 8), (2, 8), (4, 4, 4), (2, 4, 8)]
 #: Valid for everything except bitreverse (non-power-of-two sizes).
 NON_POW2_SHAPES = [(6, 6), (5, 7), (3, 9, 2), (36, 36)]
 
-#: Adversarial campaign names (mirrors repro.faults.adversary, kept
-#: literal so drawing a strategy never imports the adversary module;
-#: tests/test_testkit.py asserts the mirror stays in sync).
-ADVERSARY_PATTERN_NAMES = ("cluster", "cols", "diagonal", "random", "residue", "rows")
+#: Traffic pattern / router names, derived from the import-light spec
+#: validation tables in :mod:`repro.api.protocol` (which the numpy-heavy
+#: sim modules are themselves held to) — no hand-kept literal mirror.
+#: ``ADVERSARY_PATTERN_NAMES`` is re-exported straight from
+#: :mod:`repro.faults.registry`, the single source of those names.
+TRAFFIC_PATTERN_NAMES = tuple(sorted(_TRAFFIC_PATTERNS))
+ROUTER_NAMES = tuple(_TRAFFIC_ROUTERS)
 
-#: Traffic pattern names (mirrors repro.sim.traffic.TRAFFIC_PATTERNS;
-#: same sync test).
-TRAFFIC_PATTERN_NAMES = ("bitreverse", "hotspot", "neighbor", "transpose", "uniform")
-
-#: Router names (mirrors repro.sim.routing.ROUTERS; same sync test).
-ROUTER_NAMES = ("dimension", "adaptive")
+#: One parameterisation per registered fault model (plus a second
+#: Byzantine point with a skewed behavior mix) — what the conformance
+#: ``fault-model:*`` stages and the model-bearing strategies draw from.
+#: tests/test_testkit.py asserts every registry name appears here.
+FAULT_MODEL_CASES = [
+    {"name": "bernoulli", "p": 0.01},
+    {"name": "halfedge", "q": 0.004},
+    {"name": "byzantine", "rate": 0.05},
+    {"name": "byzantine", "rate": 0.1, "misroute": 2.0, "drop": 1.0, "corrupt": 0.5},
+    {"name": "neighbor", "p": 0.005},
+    {"name": "component", "rate": 0.02, "width": 2},
+]
 
 #: One small parameterisation per registry entry — what a conformance
 #: sweep over "every construction" instantiates.  (alon_chung has no

@@ -12,7 +12,10 @@ stack over a canonical scenario matrix:
    ``max_batch_bytes`` budget) and checkpoint/resume byte-identity with
    the journal cut at every chunk boundary;
 3. per-trial backend oracles — the vectorized kernels against the
-   scalar loops, outcome for outcome;
+   scalar loops, outcome for outcome — plus the ``fault-model:*``
+   stages: every registered fault model against an independent
+   reference sampler, its analytic expectation, and (for Byzantine
+   models) the scalar-vs-vectorized engine cross-check;
 4. the repair-mode oracle — incremental vs full-recompute lifetimes;
 5. the independent reference checkers — BFS route validity, adaptive
    routing vs healthy-subgraph reachability (plus the engines diffed
@@ -40,6 +43,7 @@ from repro.testkit.oracles import (
     audit_embedding,
     check_routes_bfs,
     checkpoint_resume_oracle,
+    fault_model_oracle,
     healthiness_oracle,
     repair_mode_oracle,
     runner_backends_oracle,
@@ -81,6 +85,21 @@ def _runner_specs(quick: bool) -> list[ExperimentSpec]:
             construction="dn", params={"d": 2, "n": 70, "b": 2},
             grid=(FaultSpec(pattern="random", k=8),),
             trials=18, name="conf-dn-adversarial",
+        ),
+        # Model-bearing specs across all three pillars: crash models in
+        # survival + lifetime trials, a Byzantine model perturbing the
+        # traffic engines — same serial/parallel/scalar/batch contract.
+        ExperimentSpec(
+            construction="bn", params=bn,
+            grid=(
+                FaultSpec(fault_model={"name": "neighbor", "p": 0.002}),
+                FaultSpec(fault_model={"name": "component", "rate": 0.01}),
+                TrafficSpec(pattern="uniform", messages=48,
+                            fault_model={"name": "byzantine", "rate": 0.08}),
+                LifetimeSpec(fault_model={"name": "bernoulli", "p": 0.002},
+                             repair_rate=0.2, max_steps=40),
+            ),
+            trials=18, name="conf-bn-fault-models",
         ),
     ]
     if not quick:
@@ -184,6 +203,13 @@ def run_conformance(
                          cycles=30, warmup=5)),
         (bn, TrafficSpec(pattern="uniform", messages=60, router="adaptive",
                          qos_classes=3, credits=4)),
+        (bn, FaultSpec(fault_model={"name": "neighbor", "p": 0.003})),
+        (bn, TrafficSpec(pattern="uniform", messages=60,
+                         fault_model={"name": "byzantine", "rate": 0.1})),
+        # Lifetime batch capability is gated off for model specs — this
+        # entry documents the probe (a skipped report, not a silent gap).
+        (bn, LifetimeSpec(fault_model={"name": "component", "rate": 0.005},
+                          repair_rate=0.2, max_steps=40)),
     ]
     if not quick:
         trial_matrix += [
@@ -198,6 +224,25 @@ def run_conformance(
     for construction, spec in trial_matrix:
         report = trial_backend_oracle(construction, spec, range(n_seeds))
         report.oracle = f"{report.oracle}:{construction.name}:{spec.label()}"
+        done(report)
+
+    # 3b. Fault models against their independent references ----------------
+    from repro.testkit.cases import FAULT_MODEL_CASES
+
+    for model_dict in FAULT_MODEL_CASES:
+        extras = ",".join(
+            f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(model_dict.items()) if k != "name"
+        )
+        report = fault_model_oracle(
+            model_dict,
+            shapes=((6, 6),) if quick else ((6, 6), (4, 4, 4), (5, 7)),
+            seeds=range(2) if quick else range(4),
+            empirical_draws=40 if quick else 100,
+        )
+        report.oracle = f"fault-model:{model_dict['name']}" + (
+            f"[{extras}]" if extras else ""
+        )
         done(report)
 
     # 4. Incremental vs full-recompute repair ------------------------------

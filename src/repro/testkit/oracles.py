@@ -60,6 +60,7 @@ __all__ = [
     "checkpoint_resume_oracle",
     "compare_sim_results",
     "diff_values",
+    "fault_model_oracle",
     "health_record",
     "healthiness_oracle",
     "lifetime_record",
@@ -254,6 +255,10 @@ def sim_record(r) -> dict:
         "cycles": int(r.cycles),
         "max_queue": int(r.max_queue),
         "timed_out": int(r.timed_out),
+        "undeliverable": int(r.undeliverable),
+        "dropped": int(r.dropped),
+        "corrupted": int(r.corrupted),
+        "misrouted": int(r.misrouted),
         "latencies": [int(x) for x in r.latencies],
         "message_latencies": [int(x) for x in r.message_latencies],
         "throughput": float(r.throughput),
@@ -550,6 +555,7 @@ def sim_engines_oracle(
     edge_ok=None,
     classes: np.ndarray | None = None,
     credits: int = 0,
+    byzantine: Callable[[], object] | None = None,
 ) -> OracleReport:
     """Scalar store-and-forward engine vs the vectorized kernel on one
     concrete workload, diffed on the raw ``SimResult``.
@@ -557,7 +563,11 @@ def sim_engines_oracle(
     The routing / QoS knobs are forwarded to both engines verbatim, so
     the oracle covers the adaptive router, health predicates, priority
     classes and credit flow control with the same field-for-field
-    contract as the historical default path.
+    contract as the historical default path.  ``byzantine`` is a
+    zero-arg *factory* returning a fresh
+    :class:`~repro.sim.routing.ByzantinePlan` — a factory because a
+    plan's RNG advances as it perturbs routes, so each engine must get
+    its own identically-seeded instance.
     """
     from repro.fastpath.traffic_batch import simulate_batch
     from repro.sim.engine import simulate
@@ -567,9 +577,185 @@ def sim_engines_oracle(
         node_ok=node_ok, edge_ok=edge_ok, classes=classes, credits=credits,
     )
     report = OracleReport("sim-engines", ("scalar", "batch"), cases=1)
-    a = simulate(shape, traffic, **kwargs)
-    b = simulate_batch(shape, traffic, **kwargs)
+    a = simulate(shape, traffic,
+                 byzantine=None if byzantine is None else byzantine(), **kwargs)
+    b = simulate_batch(shape, traffic,
+                       byzantine=None if byzantine is None else byzantine(), **kwargs)
     report.mismatches += compare_sim_results(a, b)
+    return report
+
+
+def _reference_model_sample(model, shape: tuple[int, ...], rng) -> np.ndarray:
+    """First-principles re-derivation of ``model.sample``'s flat draw.
+
+    Consumes the *same* RNG stream the production sampler does (numpy's
+    bulk ``random(shape)`` draws the identical uniform sequence as
+    element-wise scalar calls) but derives the fault set with plain
+    Python loops — per-node threshold tests, explicit closed-neighborhood
+    scans over :func:`_torus_neighbors`, explicit slab-coverage walks —
+    sharing no vectorized helper with :mod:`repro.faults.models`.
+    """
+    size = 1
+    for s in shape:
+        size *= int(s)
+    name = model.name
+    if name in ("bernoulli", "byzantine"):
+        p = model.p if name == "bernoulli" else model.rate
+        if p == 0.0:
+            return np.zeros(size, dtype=bool)
+        return np.array([rng.random() < p for _ in range(size)], dtype=bool)
+    if name == "halfedge":
+        # Half-edge faults fail no node outright: the node-state view is
+        # all-healthy by the model's contract (and consumes no RNG).
+        return np.zeros(size, dtype=bool)
+    if name == "neighbor":
+        if model.p == 0.0:
+            centers = np.zeros(size, dtype=bool)
+        else:
+            centers = np.array([rng.random() < model.p for _ in range(size)], dtype=bool)
+        neighbors = _torus_neighbors(shape)
+        out = np.zeros(size, dtype=bool)
+        for node in range(size):
+            if centers[node] or any(centers[v] for v in neighbors(node)):
+                out[node] = True
+        return out
+    if name == "component":
+        strides = []
+        acc = 1
+        for s in reversed(shape):
+            strides.append(acc)
+            acc *= int(s)
+        strides = list(reversed(strides))
+        covered = []
+        for n in shape:
+            starts = [rng.random() < model.rate for _ in range(int(n))]
+            covered.append([
+                any(starts[(c - off) % int(n)] for off in range(min(model.width, int(n))))
+                for c in range(int(n))
+            ])
+        out = np.zeros(size, dtype=bool)
+        for node in range(size):
+            coords = [(node // st) % s for st, s in zip(strides, shape)]
+            if any(covered[axis][c] for axis, c in enumerate(coords)):
+                out[node] = True
+        return out
+    raise ValueError(f"no reference sampler for fault model {name!r}")
+
+
+def fault_model_oracle(
+    model_dict: dict,
+    *,
+    shapes: Sequence[tuple[int, ...]] = ((6, 6), (4, 4, 4)),
+    seeds: Sequence[int] = range(4),
+    empirical_draws: int = 100,
+    sample_fn: Callable | None = None,
+) -> OracleReport:
+    """Registered fault model vs an independent reference, three ways.
+
+    1. **Sampler diff** — ``model.sample`` against
+       :func:`_reference_model_sample` on identical RNG streams, bit for
+       bit over every ``(shape, seed)`` pair.  ``sample_fn`` overrides
+       the production side so mutation tests can prove the oracle fires.
+    2. **Analytic expectation** — ``model.expected_faults`` against the
+       empirical mean over ``empirical_draws`` seeded draws, within six
+       standard errors (deterministic seeds: no flakiness).  Half-edge
+       models are instead checked on their per-edge fault density and
+       the ``edge_block`` direction-symmetry contract.
+    3. **Byzantine engine cross-check** — for ``behavior ==
+       "byzantine"``, the scalar engine against the vectorized kernel
+       under a :class:`~repro.sim.routing.ByzantinePlan` built from the
+       model's own mask and mix, plus message conservation
+       (``delivered + dropped + timed_out + undeliverable == offered``).
+    """
+    from repro.faults.registry import make_fault_model, model_token
+    from repro.util.rng import spawn_rng
+
+    model = make_fault_model(model_dict)
+    token = model_token(model_dict)
+    report = OracleReport("fault-model", (model.name, "reference"))
+    sample = sample_fn or model.sample
+    for shape in shapes:
+        shape = tuple(int(s) for s in shape)
+        for seed in seeds:
+            report.cases += 1
+            got = np.asarray(
+                sample(shape, spawn_rng(seed, "model-oracle", token, str(shape)))
+            ).ravel()
+            ref = _reference_model_sample(
+                model, shape, spawn_rng(seed, "model-oracle", token, str(shape))
+            )
+            report.mismatches += diff_values(
+                [bool(x) for x in ref], [bool(x) for x in got],
+                oracle="fault-model", left="reference", right=model.name,
+                path=f"sample[{shape}][seed={seed}]", max_mismatches=8,
+            )
+    if model.name == "halfedge":
+        # Per-edge density: an (h, h) block of edges is faulty with
+        # probability exactly q; symmetry: the two traversal directions
+        # of the same supernode pair must agree.
+        h = 48
+        block = model.edge_block(0, 1, h, h)
+        report.cases += 1
+        if not np.array_equal(block, model.edge_block(1, 0, h, h).T):
+            report.mismatches.append(Mismatch(
+                "fault-model", model.name, "reference", "edge_block.symmetry",
+                "edge_block(0,1) == edge_block(1,0).T", "directions disagree",
+            ))
+        density = float(block.mean())
+        tol = 6.0 * math.sqrt(max(model.q, 1e-12) / (h * h)) + 1e-9
+        if abs(density - model.q) > tol:
+            report.mismatches.append(Mismatch(
+                "fault-model", model.name, "reference", "edge_block.density",
+                model.q, density,
+            ))
+    else:
+        shape = tuple(int(s) for s in shapes[0])
+        counts = [
+            float(np.asarray(
+                model.sample(shape, spawn_rng(10_000 + i, "model-oracle-mean", token))
+            ).sum())
+            for i in range(empirical_draws)
+        ]
+        emp = float(np.mean(counts))
+        sem = float(np.std(counts)) / math.sqrt(len(counts))
+        want = float(model.expected_faults(shape))
+        report.cases += 1
+        if abs(emp - want) > 6.0 * sem + 0.25:
+            report.mismatches.append(Mismatch(
+                "fault-model", model.name, "reference", "expected_faults",
+                want, f"empirical {emp:.3f} (sem {sem:.3f})",
+            ))
+    if model.behavior == "byzantine":
+        from repro.sim.routing import ByzantinePlan
+        from repro.sim.traffic import make_traffic
+
+        for shape in shapes:
+            shape = tuple(int(s) for s in shape)
+            t = make_traffic(shape, "uniform", 48, spawn_rng(3, "model-oracle-t", token))
+            mask = model.sample(shape, spawn_rng(5, "model-oracle-m", token, str(shape)))
+
+            def plan(mask=mask, shape=shape):
+                return ByzantinePlan(
+                    mask, model.mix(), spawn_rng(7, "model-oracle-p", token, str(shape))
+                )
+
+            sub = sim_engines_oracle(shape, t, byzantine=plan)
+            report.cases += sub.cases
+            for m in sub.mismatches:
+                report.mismatches.append(Mismatch(
+                    "fault-model", "scalar-engine", "batch-engine",
+                    f"byzantine[{shape}].{m.path}", m.expected, m.actual,
+                ))
+            from repro.sim.engine import simulate
+
+            r = simulate(shape, t, byzantine=plan())
+            report.cases += 1
+            balance = r.delivered + r.dropped + r.timed_out + r.undeliverable
+            if balance != r.total:
+                report.mismatches.append(Mismatch(
+                    "fault-model", model.name, "conservation",
+                    f"byzantine[{shape}].balance", r.total, balance,
+                ))
     return report
 
 

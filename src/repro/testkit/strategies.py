@@ -30,6 +30,7 @@ from repro.api.protocol import FaultSpec, LifetimeSpec, TrafficSpec
 from repro.testkit.cases import (
     ADVERSARY_PATTERN_NAMES,
     BN_PARAM_SETS,
+    FAULT_MODEL_CASES,
     NON_POW2_SHAPES,
     ROUTER_NAMES,
     SMALL_CONSTRUCTIONS,
@@ -42,6 +43,7 @@ from repro.testkit.cases import (
 __all__ = [
     "ADVERSARY_PATTERN_NAMES",
     "BN_PARAM_SETS",
+    "FAULT_MODEL_CASES",
     "NON_POW2_SHAPES",
     "ROUTER_NAMES",
     "SMALL_CONSTRUCTIONS",
@@ -49,6 +51,7 @@ __all__ = [
     "UNIVERSAL_SHAPES",
     "bn_params",
     "construction_cases",
+    "fault_model_dicts",
     "fault_specs",
     "lifetime_specs",
     "patterns_for",
@@ -57,6 +60,22 @@ __all__ = [
     "timeline_cases",
     "traffic_specs",
 ]
+
+
+def fault_model_dicts(*, behaviors: tuple = ("crash", "byzantine")) -> st.SearchStrategy:
+    """A registered fault-model dict from :data:`FAULT_MODEL_CASES`.
+
+    ``behaviors`` restricts the pool (e.g. ``("crash",)`` for paths
+    where Byzantine nodes have no meaning).  Dicts are drawn as fresh
+    copies so a consumer mutating one cannot poison the pool.
+    """
+    from repro.faults.registry import get_model_class
+
+    pool = [
+        m for m in FAULT_MODEL_CASES
+        if get_model_class(m["name"]).behavior in behaviors
+    ]
+    return st.sampled_from(pool).map(dict)
 
 
 def bn_params() -> st.SearchStrategy:
@@ -88,13 +107,23 @@ def fault_specs(
     max_k: int = 12,
     p_pool: tuple = (0.0, 1e-4, 1e-3, 0.01, 0.05, 0.3),
     q_pool: tuple = (0.0, 0.001, 0.01),
+    with_model: bool | None = False,
 ) -> FaultSpec:
-    """A valid :class:`FaultSpec` — Bernoulli or adversarial.
+    """A valid :class:`FaultSpec` — Bernoulli, adversarial, or model-bearing.
 
     ``adversarial=None`` draws either kind; ``True``/``False`` pins it.
     Adversarial specs always carry an explicit ``k`` (several
-    constructions require one).
+    constructions require one).  ``with_model=True`` pins a registered
+    fault-model dict (replacing the p/q/pattern/k knobs, per the spec's
+    own validation); ``None`` draws model-bearing specs alongside the
+    historical kinds; ``False`` (the default, preserving the historical
+    draw space) never does.
     """
+    model = False if with_model is False else (
+        draw(st.booleans()) if with_model is None else True
+    )
+    if model:
+        return FaultSpec(fault_model=draw(fault_model_dicts()))
     adv = draw(st.booleans()) if adversarial is None else adversarial
     if adv:
         pattern = draw(st.sampled_from(ADVERSARY_PATTERN_NAMES))
@@ -111,17 +140,29 @@ def lifetime_specs(
     *,
     kinds: tuple = ("uniform", "bernoulli", "burst", "adversarial"),
     with_repair: bool | None = None,
+    with_model: bool | None = False,
 ) -> LifetimeSpec:
     """A valid :class:`LifetimeSpec` across every timeline kind.
 
     Field combinations mirror the spec's own validation: step-driven
     kinds always carry ``max_steps``, adversarial kinds a pattern.
     ``with_repair`` pins ``repair_rate`` to zero (``False``) or nonzero
-    (``True``); ``None`` draws either.
+    (``True``); ``None`` draws either.  ``with_model`` works as in
+    :func:`fault_specs`: a model-bearing spec replaces the
+    timeline/rate/burst/pattern/k knobs (repair still composes).
     """
-    kind = draw(st.sampled_from(kinds))
     repair = draw(st.booleans()) if with_repair is None else with_repair
     rho = draw(st.sampled_from((0.1, 0.2, 0.5))) if repair else 0.0
+    model = False if with_model is False else (
+        draw(st.booleans()) if with_model is None else True
+    )
+    if model:
+        return LifetimeSpec(
+            fault_model=draw(fault_model_dicts(behaviors=("crash",))),
+            repair_rate=rho,
+            max_steps=draw(st.sampled_from((20, 40, 80))),
+        )
+    kind = draw(st.sampled_from(kinds))
     if kind == "uniform":
         max_steps = draw(st.sampled_from((None, 40, 80)))
         if repair and max_steps is None:
@@ -156,6 +197,7 @@ def traffic_specs(
     patterns: tuple = TRAFFIC_PATTERN_NAMES,
     max_messages: int = 200,
     with_qos: bool | None = None,
+    with_model: bool | None = False,
 ) -> TrafficSpec:
     """A valid :class:`TrafficSpec` — closed-loop batch or open-loop.
 
@@ -165,12 +207,18 @@ def traffic_specs(
     ``with_qos`` pins the router/QoS/credit knobs to their defaults
     (``False``) or forces non-default draws (``True``); ``None`` draws
     either, defaults weighted in so the historical spec space stays
-    covered.
+    covered.  ``with_model`` attaches a fault-model dict (crash models
+    fault the network under the workload, Byzantine models perturb
+    traversing messages); it composes freely with every other knob.
     """
     pattern = draw(st.sampled_from(patterns))
     open_ = draw(st.booleans()) if open_loop is None else open_loop
     max_cycles = draw(st.sampled_from((5, 200, 10_000)))
     qos = draw(st.booleans()) if with_qos is None else with_qos
+    model = False if with_model is False else (
+        draw(st.booleans()) if with_model is None else True
+    )
+    fault_model = draw(fault_model_dicts()) if model else None
     if qos:
         router = draw(st.sampled_from(ROUTER_NAMES))
         qos_classes = draw(st.sampled_from((2, 3)))
@@ -182,6 +230,7 @@ def traffic_specs(
         return TrafficSpec(
             pattern=pattern, messages=messages, max_cycles=max_cycles,
             router=router, qos_classes=qos_classes, credits=credits,
+            fault_model=fault_model,
         )
     injection = draw(st.sampled_from(("bernoulli", "periodic")))
     rate = draw(st.sampled_from((0.01, 0.05, 0.2)))
@@ -191,4 +240,5 @@ def traffic_specs(
         pattern=pattern, injection=injection, rate=rate, cycles=cycles,
         warmup=warmup, max_cycles=max_cycles,
         router=router, qos_classes=qos_classes, credits=credits,
+        fault_model=fault_model,
     )

@@ -111,6 +111,45 @@ class TestFaultSpec:
         assert FaultSpec(pattern="diagonal", k=8).label() == "diagonal/k=8"
 
 
+class TestFaultModelSerialization:
+    """Model-free specs serialise without the ``fault_model`` key — the
+    byte-stability contract of docs/faults.md — and model-bearing ones
+    round-trip the dict."""
+
+    def test_key_absent_at_the_default(self):
+        from repro.api import LifetimeSpec, TrafficSpec
+
+        for spec in (FaultSpec(p=0.01), LifetimeSpec(), TrafficSpec(messages=8)):
+            assert "fault_model" not in spec.to_dict(), type(spec).__name__
+            assert type(spec).from_dict(spec.to_dict()) == spec
+
+    def test_model_round_trips_and_labels(self):
+        from repro.api import LifetimeSpec, TrafficSpec
+
+        model = {"name": "neighbor", "p": 0.002}
+        fs = FaultSpec(fault_model=dict(model))
+        assert fs.to_dict()["fault_model"] == model
+        assert FaultSpec.from_dict(fs.to_dict()) == fs
+        assert fs.label() == "model/neighbor p=0.002"
+        ls = LifetimeSpec(fault_model=dict(model), repair_rate=0.2, max_steps=40)
+        assert LifetimeSpec.from_dict(ls.to_dict()) == ls
+        assert ls.label() == "life/model/neighbor rho=0.2 steps=40"
+        ts = TrafficSpec(messages=8, fault_model={"name": "byzantine", "rate": 0.1})
+        assert TrafficSpec.from_dict(ts.to_dict()) == ts
+        assert ts.label() == "traffic/uniform m=8 model=byzantine"
+
+    def test_mixing_vocabularies_rejected(self):
+        from repro.api import LifetimeSpec
+
+        with pytest.raises(ValueError):
+            FaultSpec(p=0.1, fault_model={"name": "bernoulli", "p": 0.01})
+        with pytest.raises(ValueError):
+            LifetimeSpec(timeline="burst", burst=3,
+                         fault_model={"name": "bernoulli", "p": 0.01})
+        with pytest.raises(ValueError):
+            FaultSpec(fault_model={"name": "gamma-ray"})
+
+
 class TestTrafficSpec:
     def test_validation(self):
         from repro.api import TrafficSpec

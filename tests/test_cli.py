@@ -179,7 +179,7 @@ class TestRun:
 
     def test_no_fault_points_is_usage_error(self, capsys):
         assert main(["run", "--construction", "bn", "--trials", "2"]) == 2
-        assert "--p and/or --pattern" in capsys.readouterr().err
+        assert "--p, --pattern and/or --fault-model" in capsys.readouterr().err
 
     def test_unknown_pattern_is_usage_error(self, capsys):
         assert main(["run", "--construction", "dn", "--pattern", "sneaky",
@@ -202,3 +202,51 @@ class TestRun:
         assert main(["run", "--construction", "bn", "--p", "0.001",
                      "--workers", "0", "--trials", "2"]) == 2
         assert "workers" in capsys.readouterr().err
+
+
+class TestFaultModelFlag:
+    """--fault-model NAME[:key=val,...] on run/lifetime/traffic
+    (docs/faults.md)."""
+
+    def test_run_grid_points_and_serialization(self, capsys, tmp_path):
+        out_path = tmp_path / "models.json"
+        assert main(["run", "--construction", "bn", "--p", "0.001",
+                     "--fault-model", "neighbor:p=0.002",
+                     "--fault-model", "component:rate=0.01,width=2",
+                     "--trials", "2", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "model/neighbor" in out and "model/component" in out
+        payload = json.loads(out_path.read_text())
+        grid = payload["spec"]["grid"]
+        # The plain --p point serialises WITHOUT the key (byte-stability);
+        # model points carry the flattened dict back out.
+        assert "fault_model" not in grid[0]
+        assert grid[1]["fault_model"] == {"name": "neighbor", "p": 0.002}
+        assert grid[2]["fault_model"] == {"name": "component", "rate": 0.01,
+                                          "width": 2}
+
+    def test_lifetime_model_stream(self, capsys):
+        assert main(["lifetime", "--b", "3", "--fault-model",
+                     "bernoulli:p=0.0005", "--repair-rate", "0.3",
+                     "--max-steps", "20", "--trials", "2"]) == 0
+        assert "life/model/bernoulli" in capsys.readouterr().out
+
+    def test_traffic_byzantine_model(self, capsys):
+        assert main(["traffic", "--b", "3", "--pattern", "uniform",
+                     "--messages", "16", "--fault-model",
+                     "byzantine:rate=0.05,drop=2", "--trials", "2"]) == 0
+        assert "model=byzantine" in capsys.readouterr().out
+
+    def test_unknown_model_is_usage_error(self, capsys):
+        assert main(["run", "--construction", "bn", "--fault-model",
+                     "gamma-ray", "--trials", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault model" in err and "bernoulli" in err
+
+    def test_bad_model_parameters_are_usage_errors(self, capsys):
+        assert main(["run", "--construction", "bn", "--fault-model",
+                     "neighbor:p=1.5", "--trials", "2"]) == 2
+        assert "out of [0, 1]" in capsys.readouterr().err
+        assert main(["run", "--construction", "bn", "--fault-model",
+                     "neighbor:zeta=1", "--trials", "2"]) == 2
+        assert "neighbor" in capsys.readouterr().err

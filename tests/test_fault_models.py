@@ -8,10 +8,13 @@ import pytest
 
 from repro.faults.models import (
     BernoulliNodeFaults,
+    ComponentFaults,
     HalfEdgeFaults,
+    NeighborFaults,
     fold_edge_faults_into_nodes,
     paper_node_failure_probability,
 )
+from repro.faults.registry import fault_model_names, make_fault_model, model_token
 from repro.util.rng import spawn_rng
 
 
@@ -102,3 +105,101 @@ class TestEdgeFolding:
         f = np.ones((4, 4), dtype=bool)
         out = fold_edge_faults_into_nodes(f, 0.5, 4, spawn_rng(0))
         assert out.all()
+
+
+class TestNeighborFaults:
+    def test_closed_neighborhoods_fail_together(self):
+        # Every center's torus neighbors are faulty along with it.
+        sample = NeighborFaults(0.05).sample((12, 12), spawn_rng(2, "nbr"))
+        padded = sample.astype(int)
+        for axis in (0, 1):
+            for off in (1, -1):
+                shifted = np.roll(sample, off, axis=axis)
+                # A lone faulty node with a healthy full neighborhood is
+                # impossible: faults come in closed-neighborhood plates, so
+                # each faulty node has at least one faulty torus neighbor
+                # (itself a center or a co-victim) unless p drew nothing.
+                padded += np.roll(sample, off, axis=axis).astype(int)
+        if sample.any():
+            assert (padded[sample] >= 2).all()
+
+    def test_expected_faults_is_exact(self):
+        model = NeighborFaults(0.01)
+        trials = 400
+        total = 0
+        for i in range(trials):
+            total += int(model.sample((10, 10), spawn_rng(i, "nbr-mean")).sum())
+        expect = model.expected_faults((10, 10))
+        assert expect == pytest.approx(100 * (1 - (1 - 0.01) ** 5))
+        assert total / trials == pytest.approx(expect, rel=0.15)
+
+    def test_p_zero_and_validation(self):
+        assert not NeighborFaults(0.0).sample((6, 6), spawn_rng(0)).any()
+        with pytest.raises(ValueError):
+            NeighborFaults(-0.1)
+
+
+class TestComponentFaults:
+    def test_faults_are_axis_slabs(self):
+        sample = ComponentFaults(0.1, width=2).sample((9, 9), spawn_rng(4, "comp"))
+        # The fault set is a union of full rows and full columns: every
+        # faulty cell lies on a fully-faulty hyperplane.
+        rows = sample.all(axis=1)
+        cols = sample.all(axis=0)
+        rebuilt = rows[:, None] | cols[None, :]
+        assert np.array_equal(sample, rebuilt)
+
+    def test_width_widens_the_slab(self):
+        starts_only = ComponentFaults(0.08, width=1).sample((20, 20), spawn_rng(5, "w"))
+        widened = ComponentFaults(0.08, width=3).sample((20, 20), spawn_rng(5, "w"))
+        # Same start draws (same rng keying), strictly more coverage.
+        assert (starts_only <= widened).all()
+        assert widened.sum() > starts_only.sum()
+
+    def test_expected_faults_is_exact(self):
+        model = ComponentFaults(0.02, width=2)
+        assert model.expected_faults((10, 10)) == pytest.approx(
+            100 * (1 - (1 - 0.02) ** 4)
+        )
+        trials = 400
+        total = sum(
+            int(model.sample((10, 10), spawn_rng(i, "comp-mean")).sum())
+            for i in range(trials)
+        )
+        assert total / trials == pytest.approx(model.expected_faults((10, 10)), rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComponentFaults(0.1, width=0)
+        with pytest.raises(ValueError):
+            ComponentFaults(2.0)
+
+
+class TestRegistry:
+    def test_round_trip_through_dicts(self):
+        for name in fault_model_names():
+            model = make_fault_model(dict(FAULT_MODEL_EXAMPLES[name]))
+            assert model.name == name
+            assert make_fault_model(model.to_dict()) == model
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(ValueError, match="bernoulli"):
+            make_fault_model({"name": "gamma-ray"})
+
+    def test_bad_parameters_name_the_model(self):
+        with pytest.raises(ValueError, match="bernoulli"):
+            make_fault_model({"name": "bernoulli", "zeta": 1})
+
+    def test_model_token_is_order_insensitive(self):
+        a = model_token({"name": "component", "rate": 0.1, "width": 2})
+        b = model_token({"width": 2, "rate": 0.1, "name": "component"})
+        assert a == b
+
+
+FAULT_MODEL_EXAMPLES = {
+    "bernoulli": {"name": "bernoulli", "p": 0.01},
+    "halfedge": {"name": "halfedge", "q": 0.02},
+    "byzantine": {"name": "byzantine", "rate": 0.05, "drop": 2.0},
+    "neighbor": {"name": "neighbor", "p": 0.01},
+    "component": {"name": "component", "rate": 0.02, "width": 2},
+}

@@ -461,6 +461,62 @@ class TestLoadGenerator:
         assert report["telemetry"]["alive"] is True
 
 
+class TestModelTaggedEvents:
+    """Fault-model tags on ingested events (docs/faults.md): per-tag
+    tallies in digest/telemetry, surfaced only when nonempty."""
+
+    def test_untagged_sessions_keep_byte_identical_digests(self):
+        state = MachineState("m", "sparerows", {"n": 8, "sigma": 2})
+        state.apply_event("fault", 3)
+        assert "model_faults" not in state.digest()
+        assert "model_faults" not in state.telemetry_snapshot()
+
+    def test_tagged_faults_tally_per_model(self):
+        state = MachineState("m", "sparerows", {"n": 8, "sigma": 2})
+        state.apply_event("fault", 3, model="neighbor")
+        state.apply_event("fault", 11, model="neighbor")
+        state.apply_event("fault", 20, model="component")
+        # Repairs are not arrivals: no tally even when tagged.
+        state.apply_event("repair", 3, model="neighbor")
+        expect = {"component": 1, "neighbor": 2}
+        assert state.digest()["model_faults"] == expect
+        assert state.telemetry_snapshot()["model_faults"] == expect
+
+    def test_unknown_tag_rejected_with_registry_names(self):
+        state = MachineState("m", "sparerows", {"n": 8, "sigma": 2})
+        with pytest.raises(ValueError, match="bernoulli"):
+            state.apply_event("fault", 3, model="gamma-ray")
+        # The rejected event mutated nothing.
+        assert state.seq == 0 and state.num_faults == 0
+
+    def test_tags_flow_over_the_wire_in_both_event_ops(self):
+        async def go() -> tuple[dict, dict]:
+            server = await _started_server()
+            try:
+                c = await ServeClient.connect("127.0.0.1", server.port)
+                await c.request("create", machine="m", construction="sparerows",
+                                params={"n": 8, "sigma": 2})
+                await c.request("event", machine="m", kind="fault", node=3,
+                                model="neighbor")
+                await c.request(
+                    "events", machine="m",
+                    events=[["repair", 3], ["fault", 11, "component"],
+                            ["fault", 20, "component"]],
+                )
+                with pytest.raises(ServeRequestError) as err:
+                    await c.request("event", machine="m", kind="fault", node=0,
+                                    model="gamma-ray")
+                digest = await c.request("digest", machine="m")
+                await c.close()
+                return digest, {"code": err.value.code}
+            finally:
+                await _stop(server)
+
+        digest, err = asyncio.run(go())
+        assert digest["model_faults"] == {"component": 2, "neighbor": 1}
+        assert err["code"] == "bad-request"
+
+
 class TestServeErrors:
     def test_create_machine_validation(self):
         server = ReproServer()

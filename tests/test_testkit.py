@@ -91,19 +91,52 @@ class TestStrategies:
             c = get(name, **params)
             assert c.name == name and c.num_nodes > 0
 
-    def test_pattern_name_literals_mirror_production(self):
-        """The hypothesis-free pools keep literal copies of the pattern
-        registries; a pattern added to production must reach the
-        strategies or the conformance matrix silently under-covers."""
+    def test_name_pools_are_registry_derived(self):
+        """The pools are *derived* from the registries (no hand-kept
+        mirrors left): each assertion is the one-line proof that the
+        production table and the testkit pool share a source."""
         from repro.api.registry import available
+        from repro.faults import registry as fault_registry
         from repro.faults.adversary import ADVERSARY_PATTERNS
         from repro.sim.routing import ROUTERS
         from repro.sim.traffic import TRAFFIC_PATTERNS
 
-        assert set(tks.ADVERSARY_PATTERN_NAMES) == set(ADVERSARY_PATTERNS)
+        assert tks.ADVERSARY_PATTERN_NAMES is fault_registry.ADVERSARY_PATTERN_NAMES
+        assert set(ADVERSARY_PATTERNS) == set(fault_registry.ADVERSARY_PATTERN_NAMES)
         assert set(tks.TRAFFIC_PATTERN_NAMES) == set(TRAFFIC_PATTERNS)
         assert set(tks.ROUTER_NAMES) == set(ROUTERS)
         assert {name for name, _ in tks.SMALL_CONSTRUCTIONS} == set(available())
+
+    def test_fault_model_cases_cover_the_registry(self):
+        from repro.faults.registry import fault_model_names, make_fault_model
+
+        names = {m["name"] for m in tks.FAULT_MODEL_CASES}
+        assert names == set(fault_model_names())
+        for m in tks.FAULT_MODEL_CASES:
+            make_fault_model(m)  # every case resolves and validates
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=tks.fault_specs(with_model=True))
+    def test_model_bearing_fault_specs_valid(self, spec):
+        assert spec.fault_model is not None and not spec.adversarial
+        assert spec.label().startswith("model/")
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=tks.lifetime_specs(with_model=True))
+    def test_model_bearing_lifetime_specs_valid(self, spec):
+        from repro.faults.registry import get_model_class
+
+        assert spec.fault_model is not None
+        assert get_model_class(spec.fault_model["name"]).behavior == "crash"
+        assert LifetimeSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=tks.traffic_specs(with_model=True))
+    def test_model_bearing_traffic_specs_valid(self, spec):
+        assert spec.fault_model is not None
+        assert f"model={spec.fault_model['name']}" in spec.label()
+        assert TrafficSpec.from_dict(spec.to_dict()) == spec
 
 
 # ---------------------------------------------------------------------------
@@ -341,6 +374,77 @@ class TestTrialBackendOracle:
         bn = get("bn", d=2, b=3, s=1, t=2)
         report = trial_backend_oracle(bn, FaultSpec(p=1e-3), range(3))
         assert report.ok and report.cases == 3 and not report.skipped
+
+
+# ---------------------------------------------------------------------------
+# Mutation: break a fault-model sampler under the model oracle
+# ---------------------------------------------------------------------------
+
+
+class TestFaultModelOracleMutation:
+    def test_every_registered_model_passes_honestly(self):
+        from repro.testkit.oracles import fault_model_oracle
+
+        for model_dict in tks.FAULT_MODEL_CASES:
+            report = fault_model_oracle(
+                model_dict, shapes=((6, 6),), seeds=range(2), empirical_draws=40
+            )
+            assert report.ok, report.describe()
+            assert report.cases > 0
+
+    def test_wrong_probability_sampler_fires(self):
+        from repro.testkit.oracles import fault_model_oracle
+
+        def wrong_p(shape, rng):
+            return rng.random(tuple(shape)) < 0.5  # model says p=0.01
+
+        report = fault_model_oracle(
+            {"name": "bernoulli", "p": 0.01}, sample_fn=wrong_p,
+            shapes=((6, 6),), seeds=range(2),
+        )
+        assert not report.ok
+        assert any(m.path.startswith("sample[") for m in report.mismatches)
+        assert all(m.oracle == "fault-model" for m in report.mismatches)
+
+    def test_fault_dropping_sampler_fires(self):
+        from repro.faults.registry import make_fault_model
+        from repro.testkit.oracles import fault_model_oracle
+
+        model = make_fault_model({"name": "neighbor", "p": 0.005})
+
+        def drops_one(shape, rng):
+            out = model.sample(shape, rng)
+            hit = np.flatnonzero(out.ravel())
+            if len(hit):
+                out.ravel()[hit[0]] = False
+            return out
+
+        report = fault_model_oracle(
+            {"name": "neighbor", "p": 0.005}, sample_fn=drops_one,
+            shapes=((6, 6),), seeds=range(4),
+        )
+        assert not report.ok
+        assert any(m.path.startswith("sample[") for m in report.mismatches)
+
+    def test_byzantine_engine_divergence_fires(self):
+        """A SimResult whose integrity fields are tampered must be caught
+        by the same record diff the Byzantine cross-check runs on."""
+        import dataclasses
+
+        from repro.sim.routing import ByzantinePlan
+        from repro.testkit.oracles import compare_sim_results
+
+        shape = (6, 6)
+        t = make_traffic(shape, "uniform", 48, spawn_rng(3, "byz-mut"))
+        mask = spawn_rng(5, "byz-mut-mask").random(shape) < 0.15
+        plan = ByzantinePlan(mask, (1 / 3, 1 / 3, 1 / 3), spawn_rng(7, "byz-mut-p"))
+        honest = simulate(shape, t, byzantine=plan)
+        assert honest.dropped + honest.corrupted + honest.misrouted > 0
+        lying = dataclasses.replace(
+            honest, dropped=honest.dropped + 1, delivered=honest.delivered - 1
+        )
+        ms = compare_sim_results(honest, lying)
+        assert {m.path for m in ms} >= {"dropped", "delivered"}
 
 
 # ---------------------------------------------------------------------------
