@@ -13,10 +13,12 @@ Runs two ways:
 * ``python benchmarks/bench_e18_fastpath.py [--quick] [--check PATH]`` —
   the CI perf-regression gate.  ``--quick`` measures the headline bn
   configuration, the batched *lifetime* kernel on the same instance and
-  the batched *traffic* kernel on the e14 guest torus
-  (min-of-N timed, a couple of seconds); ``--check`` compares all three
-  against the committed baseline and exits 1 on a >30%
-  wall-clock regression of any batched kernel.  Because CI runners
+  the batched *traffic* kernel on the e14 guest torus — once per
+  importable kernel tier, so machines with numba also gate the
+  ``compiled`` tier (min-of-N timed, a couple of seconds); ``--check``
+  compares every key present on both sides against the committed
+  baseline and exits 1 on a >30% wall-clock regression of any
+  vectorized kernel.  Because CI runners
   and the machine that produced the baseline differ, the gate normalises
   by the scalar kernel measured in the same process: the batched kernel
   "regressed by 30%" when its speedup over scalar drops below
@@ -57,10 +59,20 @@ QUICK_TRIALS = 64
 REPEATS = 3
 
 
-def _measure(name: str, params: dict, trials: int, p: float | None = None) -> dict:
+def _tier_kwargs(tier: str) -> dict:
+    """The kwargs that select a kernel tier (empty for the batch default,
+    mirroring how the runner only passes ``tier=`` when it is compiled)."""
+    return {} if tier == "batch" else {"tier": tier}
+
+
+def _measure(name: str, params: dict, trials: int, p: float | None = None,
+             tier: str = "batch") -> dict:
     """Time scalar vs batched execution of the same seeds; verify identity.
 
-    Both kernels are timed ``REPEATS`` times and the minimum is kept."""
+    Both kernels are timed ``REPEATS`` times and the minimum is kept.
+    ``tier`` picks the vectorized rung under measurement (``"batch"`` or
+    ``"compiled"``); the scalar reference is always re-timed in the same
+    process so the recorded speedup stays machine-portable."""
     from repro.api import FaultSpec
     from repro.api.registry import get
 
@@ -69,13 +81,14 @@ def _measure(name: str, params: dict, trials: int, p: float | None = None) -> di
         p = construction.params.paper_fault_probability
     spec = FaultSpec(p=p)
     seeds = list(range(trials))
-    construction.run_batch(spec, seeds[:2])  # warm both paths
+    kw = _tier_kwargs(tier)
+    construction.run_batch(spec, seeds[:2], **kw)  # warm both paths (+ JIT)
     construction.trial(spec, 0)
 
     batch_s = float("inf")
     for _ in range(REPEATS):
         t0 = time.perf_counter()
-        batch_outs = construction.run_batch(spec, seeds)
+        batch_outs = construction.run_batch(spec, seeds, **kw)
         batch_s = min(batch_s, time.perf_counter() - t0)
 
     scalar_s = float("inf")
@@ -93,6 +106,7 @@ def _measure(name: str, params: dict, trials: int, p: float | None = None) -> di
         "construction": name,
         "params": params,
         "p": p,
+        "tier": tier,
         "trials": trials,
         "timing_repeats": REPEATS,
         "scalar_s": round(scalar_s, 4),
@@ -107,7 +121,7 @@ def _measure(name: str, params: dict, trials: int, p: float | None = None) -> di
 LIFETIME_TRIALS = 32
 
 
-def _measure_lifetime(params: dict, trials: int) -> dict:
+def _measure_lifetime(params: dict, trials: int, tier: str = "batch") -> dict:
     """Time scalar vs batched lifetime execution of the same seeds; verify
     trial-for-trial identical first-failure records (ISSUE 3 contract)."""
     from repro.api import LifetimeSpec
@@ -116,13 +130,14 @@ def _measure_lifetime(params: dict, trials: int) -> dict:
     construction = get("bn", **params)
     spec = LifetimeSpec()
     seeds = list(range(trials))
-    construction.run_lifetime_batch(spec, seeds[:2])  # warm both paths
+    kw = _tier_kwargs(tier)
+    construction.run_lifetime_batch(spec, seeds[:2], **kw)  # warm both paths
     construction.lifetime_trial(spec, 0)
 
     batch_s = float("inf")
     for _ in range(REPEATS):
         t0 = time.perf_counter()
-        batch_outs = construction.run_lifetime_batch(spec, seeds)
+        batch_outs = construction.run_lifetime_batch(spec, seeds, **kw)
         batch_s = min(batch_s, time.perf_counter() - t0)
 
     scalar_s = float("inf")
@@ -139,6 +154,7 @@ def _measure_lifetime(params: dict, trials: int) -> dict:
     return {
         "construction": "bn",
         "params": params,
+        "tier": tier,
         "timeline": "uniform",
         "trials": trials,
         "timing_repeats": REPEATS,
@@ -156,7 +172,7 @@ TRAFFIC_SHAPE = (36, 36)
 TRAFFIC_MESSAGES = 1200
 
 
-def _measure_traffic(shape: tuple, messages: int) -> dict:
+def _measure_traffic(shape: tuple, messages: int, tier: str = "batch") -> dict:
     """Time the scalar engine vs the vectorized traffic kernel on the same
     workload; verify the SimResults are identical field for field."""
     from repro.fastpath.traffic_batch import sim_results_identical, simulate_batch
@@ -164,12 +180,13 @@ def _measure_traffic(shape: tuple, messages: int) -> dict:
     from repro.util.rng import spawn_rng
 
     traffic = make_traffic(shape, "uniform", messages, spawn_rng(3, "e18-traffic"))
-    simulate_batch(shape, traffic)  # warm
+    kw = _tier_kwargs(tier)
+    simulate_batch(shape, traffic, **kw)  # warm (+ JIT)
 
     batch_s = float("inf")
     for _ in range(REPEATS):
         t0 = time.perf_counter()
-        b = simulate_batch(shape, traffic)
+        b = simulate_batch(shape, traffic, **kw)
         batch_s = min(batch_s, time.perf_counter() - t0)
 
     scalar_s = float("inf")
@@ -181,6 +198,7 @@ def _measure_traffic(shape: tuple, messages: int) -> dict:
     return {
         "shape": list(shape),
         "pattern": "uniform",
+        "tier": tier,
         "messages": messages,
         "timing_repeats": REPEATS,
         "scalar_s": round(scalar_s, 4),
@@ -191,27 +209,53 @@ def _measure_traffic(shape: tuple, messages: int) -> dict:
     }
 
 
-def measure_quick() -> dict:
-    return _measure("bn", FULL_BN, QUICK_TRIALS)
+def measure_quick(tier: str = "batch") -> dict:
+    return _measure("bn", FULL_BN, QUICK_TRIALS, tier=tier)
 
 
-def measure_traffic_quick() -> dict:
-    return _measure_traffic(TRAFFIC_SHAPE, TRAFFIC_MESSAGES)
+def measure_traffic_quick(tier: str = "batch") -> dict:
+    return _measure_traffic(TRAFFIC_SHAPE, TRAFFIC_MESSAGES, tier=tier)
 
 
-def measure_lifetime_quick() -> dict:
-    return _measure_lifetime(FULL_BN, LIFETIME_TRIALS)
+def measure_lifetime_quick(tier: str = "batch") -> dict:
+    return _measure_lifetime(FULL_BN, LIFETIME_TRIALS, tier=tier)
+
+
+#: The CI-gated baseline keys.  The ``*_compiled`` entries exist only in
+#: data (and baselines) recorded where numba is importable; both sides of
+#: the gate skip keys the other lacks, so a baseline from a numba-free
+#: machine still gates the batch tier on a numba-equipped runner and
+#: vice versa.
+GATE_KEYS = ("quick", "lifetime_quick", "traffic_quick",
+             "quick_compiled", "lifetime_quick_compiled",
+             "traffic_quick_compiled")
+
+
+def measure_gate_data() -> dict:
+    """The quick gate measurements for every importable kernel tier."""
+    from repro.fastpath.dispatch import available_tiers, compiled_available
+
+    data = {
+        "quick": measure_quick(),
+        "lifetime_quick": measure_lifetime_quick(),
+        "traffic_quick": measure_traffic_quick(),
+        "tiers_measured": list(available_tiers()),
+    }
+    if compiled_available():
+        data["quick_compiled"] = measure_quick(tier="compiled")
+        data["lifetime_quick_compiled"] = measure_lifetime_quick(tier="compiled")
+        data["traffic_quick_compiled"] = measure_traffic_quick(tier="compiled")
+    return data
 
 
 def measure_full() -> dict:
     """The committed benchmark: bn (headline) + an, plus the quick config
-    the CI gate replays."""
+    the CI gate replays (per importable tier)."""
     bn = _measure("bn", FULL_BN, FULL_TRIALS)
     an = _measure("an", FULL_AN, FULL_TRIALS, p=0.1)
-    quick = measure_quick()
-    lifetime_quick = measure_lifetime_quick()
-    traffic_quick = measure_traffic_quick()
+    gate = measure_gate_data()
     return {
+        **gate,
         "benchmark": (
             "scalar per-trial vs vectorized run_batch / run_lifetime_batch / "
             "traffic kernel, identical seeds and outcomes (repro.fastpath)"
@@ -220,23 +264,25 @@ def measure_full() -> dict:
         "note": (
             "speedups are same-machine ratios and therefore portable across "
             "runners; the CI perf gate replays the `quick`, "
-            "`lifetime_quick` and `traffic_quick` configurations and fails "
-            "when any measured speedup drops below speedup/1.3 (a >30% "
-            "wall-clock regression of the batched kernel, normalised by the "
-            "scalar kernel measured in the same process).  The lifetime "
-            "scalar baseline is itself the incremental OnlineRecovery path, "
-            "so this gate covers both lifetime pipelines; the headline "
-            "traffic measurement at full size lives in BENCH_traffic.json.  "
-            "The committed *_quick baselines are the minimum of several "
-            "same-machine samples: the gate is one-sided, so a low-end "
-            "baseline absorbs run-to-run scalar-kernel variance without "
-            "loosening the 30% rule"
+            "`lifetime_quick` and `traffic_quick` configurations — plus "
+            "their `*_compiled` twins where the numba JIT tier is "
+            "importable (see `tiers_measured`) — and fails when any "
+            "measured speedup drops below speedup/1.3 (a >30% "
+            "wall-clock regression of the vectorized kernel, normalised by "
+            "the scalar kernel measured in the same process).  Keys absent "
+            "from either side of the comparison are skipped, so a baseline "
+            "recorded on a numba-free machine still gates the batch tier "
+            "everywhere.  The lifetime scalar baseline is itself the "
+            "incremental OnlineRecovery path, so this gate covers both "
+            "lifetime pipelines; the headline traffic measurement at full "
+            "size lives in BENCH_traffic.json.  The committed *_quick "
+            "baselines are the minimum of several same-machine samples: "
+            "the gate is one-sided, so a low-end baseline absorbs "
+            "run-to-run scalar-kernel variance without loosening the 30% "
+            "rule"
         ),
         "bn_survival_d2_b4": bn,
         "an_survival": an,
-        "quick": quick,
-        "lifetime_quick": lifetime_quick,
-        "traffic_quick": traffic_quick,
     }
 
 
@@ -311,9 +357,10 @@ def test_e18_fastpath_speedup(benchmark, report):
         ["case", "trials", "scalar s", "batch s", "speedup", "identical"],
         title="E18: scalar per-trial vs vectorized batch backend",
     )
-    for key in ("bn_survival_d2_b4", "an_survival", "quick", "lifetime_quick",
-                "traffic_quick"):
-        c = data[key]
+    for key in ("bn_survival_d2_b4", "an_survival", *GATE_KEYS):
+        c = data.get(key)
+        if c is None:  # a *_compiled key on a numba-free machine
+            continue
         table.add_row(
             [key, c.get("trials", c.get("messages")), c["scalar_s"], c["batch_s"],
              f"{c['speedup']:.1f}x", "yes" if c["outcomes_identical"] else "NO"]
@@ -345,19 +392,15 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     if args.quick:
-        data = {
-            "quick": measure_quick(),
-            "lifetime_quick": measure_lifetime_quick(),
-            "traffic_quick": measure_traffic_quick(),
-        }
+        data = measure_gate_data()
     else:
         data = measure_full()
     print(json.dumps(data, indent=2, sort_keys=True))
 
-    for key in ("quick", "lifetime_quick", "traffic_quick"):
-        if not data[key]["outcomes_identical"]:
+    for key in GATE_KEYS:
+        if key in data and not data[key]["outcomes_identical"]:
             print(
-                f"FAIL: batched outcomes differ from scalar outcomes ({key})",
+                f"FAIL: vectorized outcomes differ from scalar outcomes ({key})",
                 file=sys.stderr,
             )
             return 1
@@ -374,9 +417,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         baselines = json.loads(Path(args.check).read_text())
         failed = False
-        for key in ("quick", "lifetime_quick", "traffic_quick"):
-            if key not in baselines:
-                # Older baselines lack newer kernels' keys; gate what exists.
+        for key in GATE_KEYS:
+            if key not in baselines or key not in data:
+                # Older baselines lack newer kernels' keys, and *_compiled
+                # keys exist only where numba imports; gate what both have.
                 continue
             baseline = baselines[key]["speedup"]
             measured = data[key]["speedup"]
@@ -390,7 +434,7 @@ def main(argv: list[str] | None = None) -> int:
                 failed = True
         if failed:
             print(
-                "FAIL: a batched kernel regressed >30% relative to the "
+                "FAIL: a vectorized kernel regressed >30% relative to the "
                 "scalar kernel on this machine",
                 file=sys.stderr,
             )

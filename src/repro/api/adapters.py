@@ -122,12 +122,14 @@ class _TorusTrafficMixin:
         return True
 
     def run_traffic_batch(
-        self, spec: TrafficSpec, seeds: list, max_batch_bytes: int | None = None
+        self, spec: TrafficSpec, seeds: list, max_batch_bytes: int | None = None,
+        tier: str = "batch",
     ) -> list:
         from repro.fastpath.traffic_batch import run_traffic_batch
 
         return run_traffic_batch(
-            self.guest_shape(), spec, seeds, max_batch_bytes=max_batch_bytes
+            self.guest_shape(), spec, seeds, max_batch_bytes=max_batch_bytes,
+            tier=tier,
         )
 
 
@@ -187,11 +189,14 @@ class BnConstruction(_TorusTrafficMixin, _AdapterBase):
         return not spec.adversarial and self.strategy in ("auto", "straight")
 
     def run_batch(
-        self, spec: FaultSpec, seeds: list, max_batch_bytes: int | None = None
+        self, spec: FaultSpec, seeds: list, max_batch_bytes: int | None = None,
+        tier: str = "batch",
     ) -> list:
         from repro.fastpath.bn_batch import run_bn_batch
 
-        return run_bn_batch(self, spec, seeds, max_batch_bytes=max_batch_bytes)
+        return run_bn_batch(
+            self, spec, seeds, max_batch_bytes=max_batch_bytes, tier=tier
+        )
 
     def lifetime_trial(self, spec: LifetimeSpec, seed: int) -> LifetimeOutcome:
         """Incremental lifetime trial on the historical ``fault_lifetime``
@@ -215,12 +220,13 @@ class BnConstruction(_TorusTrafficMixin, _AdapterBase):
         )
 
     def run_lifetime_batch(
-        self, spec: LifetimeSpec, seeds: list, max_batch_bytes: int | None = None
+        self, spec: LifetimeSpec, seeds: list, max_batch_bytes: int | None = None,
+        tier: str = "batch",
     ) -> list:
         from repro.fastpath.lifetime_batch import run_bn_lifetime_batch
 
         return run_bn_lifetime_batch(
-            self, spec, seeds, max_batch_bytes=max_batch_bytes
+            self, spec, seeds, max_batch_bytes=max_batch_bytes, tier=tier
         )
 
     def guest_shape(self) -> tuple:
@@ -348,8 +354,12 @@ class AnConstruction(_TorusTrafficMixin, _AdapterBase):
         return not spec.adversarial and spec.q == 0.0 and spec.fault_model is None
 
     def run_batch(
-        self, spec: FaultSpec, seeds: list, max_batch_bytes: int | None = None
+        self, spec: FaultSpec, seeds: list, max_batch_bytes: int | None = None,
+        tier: str = "batch",
     ) -> list:
+        # The an survival kernel has no compiled core (its hot path is the
+        # bn sub-torus classifier); on the compiled tier it runs the same
+        # numpy kernel — outcomes are tier-independent either way.
         from repro.fastpath.an_batch import run_an_batch
 
         return run_an_batch(self, spec, seeds, max_batch_bytes=max_batch_bytes)

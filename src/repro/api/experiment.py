@@ -268,16 +268,21 @@ def _run_chunk(task: tuple) -> dict:
     """One work unit: ``count`` trials of one grid point, as an MCResult dict.
 
     Takes/returns plain picklable types so it crosses process boundaries.
-    Dispatches the chunk to the construction's vectorized ``run_batch``
-    backend when allowed and advertised; outcomes are identical either
-    way (the batch contract), so the choice never reaches the JSON.
+    ``backend`` is the resolved kernel tier (``"scalar"`` forces the
+    per-trial loop; ``"batch"``/``"compiled"`` dispatch to the
+    construction's vectorized kernels when advertised for the point,
+    falling back per-trial otherwise); outcomes are identical on every
+    tier (the batch contract), so the choice never reaches the JSON.
     ``max_batch_bytes`` (when set) bounds the kernels' resident fault
-    stacks — it is passed through only when explicit so duck-typed
-    constructions without the parameter keep working on the default
-    budget.
+    stacks, and the ``tier`` kwarg rides along only on the compiled tier
+    — both passed only when explicit so duck-typed constructions without
+    the parameters keep working.
     """
-    name, params_items, fault_spec_dict, seed_start, count, use_batch, mbb = task
+    name, params_items, fault_spec_dict, seed_start, count, backend, mbb = task
+    use_batch = backend != "scalar"
     kw = {} if mbb is None else {"max_batch_bytes": mbb}
+    if backend == "compiled":
+        kw["tier"] = "compiled"
     construction = _cached_construction(name, params_items)
     point = _point_from_dict(fault_spec_dict)
     seeds = list(range(seed_start, seed_start + count))
@@ -365,12 +370,18 @@ class _PointFold:
 class ExperimentRunner:
     """Execute :class:`ExperimentSpec`\\ s serially or on a process pool.
 
-    ``batch`` selects the execution backend for each seed chunk:
-    ``None`` (default) and ``True`` use a construction's vectorized
-    ``run_batch`` whenever it advertises support for the grid point,
-    falling back to the per-trial loop otherwise; ``False`` forces the
-    per-trial loop everywhere.  Like ``workers``, the choice is a runner
-    property, not a spec field — results are byte-identical regardless.
+    ``backend`` selects the kernel tier for each seed chunk — one of
+    ``"auto"`` (default: the best tier available here), ``"scalar"``
+    (the per-trial reference loop everywhere), ``"batch"`` (the numpy
+    kernels where a construction advertises support, per-trial
+    otherwise) or ``"compiled"`` (the numba-JIT cores; requesting it
+    where numba is absent raises
+    :class:`~repro.errors.BackendUnavailableError` at construction, not
+    mid-run — see :mod:`repro.fastpath.dispatch`).  The legacy ``batch``
+    flag maps onto the same ladder (``False`` → scalar, ``True`` →
+    batch, ``None`` → auto) and is mutually exclusive with ``backend``.
+    Like ``workers``, the choice is a runner property, not a spec field
+    — results are byte-identical on every tier.
 
     Execution is *streaming*: chunk tasks are generated lazily, results
     are consumed as they complete (``imap_unordered`` when pooled) and
@@ -394,13 +405,25 @@ class ExperimentRunner:
         batch: bool | None = None,
         max_batch_bytes: int | None = None,
         progress_interval: float = 1.0,
+        backend: str | None = None,
     ):
+        from repro.fastpath.dispatch import resolve_backend
+
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_batch_bytes is not None and max_batch_bytes < 1:
             raise ValueError("max_batch_bytes must be >= 1")
+        if backend is not None and batch is not None:
+            raise ValueError(
+                "pass either backend= or the legacy batch= flag, not both"
+            )
+        if backend is None and batch is not None:
+            backend = "scalar" if batch is False else "batch"
         self.workers = workers
         self.batch = batch
+        # Resolved eagerly: an unavailable explicit tier must fail at
+        # construction time (BackendUnavailableError), never mid-run.
+        self.backend = resolve_backend(backend)
         self.max_batch_bytes = max_batch_bytes
         self.progress_interval = progress_interval
 
@@ -413,7 +436,7 @@ class ExperimentRunner:
         resumed journal.
         """
         params_items = tuple(sorted(spec.params.items()))
-        use_batch = self.batch is not False
+        backend = self.backend
         for point_idx, fs in enumerate(spec.grid):
             fsd = fs.to_dict()
             for chunk_idx, start in enumerate(range(0, spec.trials, spec.chunk_size)):
@@ -424,7 +447,7 @@ class ExperimentRunner:
                     point_idx,
                     chunk_idx,
                     (spec.construction, params_items, fsd, spec.seed0 + start,
-                     count, use_batch, self.max_batch_bytes),
+                     count, backend, self.max_batch_bytes),
                 )
 
     def run(

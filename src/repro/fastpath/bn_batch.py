@@ -70,7 +70,7 @@ def sample_bn_faults_batch(
 
 
 def straight_survival_batch(
-    params: BnParams, faults: np.ndarray
+    params: BnParams, faults: np.ndarray, *, tier: str = "batch"
 ) -> tuple[np.ndarray, np.ndarray]:
     """Classify a ``(trials, *shape)`` fault stack by straight-band cover.
 
@@ -98,15 +98,21 @@ def straight_survival_batch(
     # every faulty row ((row - bottom) mod m < b for some band).  Any
     # mismatch demotes the trial to the scalar path instead of trusting
     # the vectorized classification.
-    masked = (
-        (np.arange(m)[None, None, :] - bottoms[:, :, None]) % m < b
-    ).any(axis=1)
-    covered = greedy_ok & ~(fault_rows & ~masked).any(axis=1)
+    if tier == "compiled":
+        from repro.fastpath.compiled import bn_cover_core
+
+        covered = greedy_ok & bn_cover_core(fault_rows, bottoms, m, b)
+    else:
+        masked = (
+            (np.arange(m)[None, None, :] - bottoms[:, :, None]) % m < b
+        ).any(axis=1)
+        covered = greedy_ok & ~(fault_rows & ~masked).any(axis=1)
     return covered, fault_rows
 
 
 def run_bn_batch(
-    adapter, spec, seeds: Sequence[int], max_batch_bytes: int | None = None
+    adapter, spec, seeds: Sequence[int], max_batch_bytes: int | None = None,
+    tier: str = "batch",
 ) -> list[TrialOutcome]:
     """Batched equivalent of ``[adapter.trial(spec, s) for s in seeds]``.
 
@@ -147,7 +153,7 @@ def run_bn_batch(
             )
         trials = len(sub)
         num_faults = faults.reshape(trials, -1).sum(axis=1)
-        covered, _ = straight_survival_batch(params, faults)
+        covered, _ = straight_survival_batch(params, faults, tier=tier)
         if model is not None:
             # Model specs run the *generic* scalar trial, which reports no
             # strategy or health — covered trials emit its exact outcome.
@@ -169,7 +175,9 @@ def run_bn_batch(
             # double the dominant cost of the high-fault-rate regime.
             from repro.fastpath.health import check_healthiness_batch
 
-            reports = check_healthiness_batch(params, faults[covered], torus.geo)
+            reports = check_healthiness_batch(
+                params, faults[covered], torus.geo, tier=tier
+            )
             healths = dict(zip(np.flatnonzero(covered).tolist(), reports))
         for t, seed in enumerate(sub):
             if covered[t]:

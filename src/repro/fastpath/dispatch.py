@@ -1,0 +1,81 @@
+"""The three-tier kernel ladder: ``scalar`` → ``batch`` → ``compiled``.
+
+One place owns the tier vocabulary and the availability rules; the
+runner, the CLI and the conformance stages all resolve through it so a
+tier can never be *silently* absent:
+
+* ``scalar`` — the pure-Python reference semantics.  Always available.
+* ``batch``  — the numpy-vectorized kernels (:mod:`repro.fastpath`).
+  Always available (numpy is a hard dependency).
+* ``compiled`` — the numba-JIT cores (:mod:`repro.fastpath.compiled`).
+  Available only where numba imports; requesting it elsewhere raises
+  :class:`~repro.errors.BackendUnavailableError` *fast* (at runner
+  construction), never mid-experiment.
+
+``auto`` resolves to the best available tier.  Whatever resolves,
+experiment JSON is byte-identical across tiers — the ladder chooses a
+wall clock, never a result (enforced by ``repro-ft conformance``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendUnavailableError
+
+__all__ = [
+    "BACKENDS",
+    "TIERS",
+    "available_tiers",
+    "compiled_available",
+    "compiled_unavailable_reason",
+    "resolve_backend",
+]
+
+#: Kernel tiers, weakest first.  Every tier is a complete backend: where
+#: a construction lacks a kernel for some spec, the tier falls back to
+#: the next-lower implementation for that spec (outcomes identical).
+TIERS = ("scalar", "batch", "compiled")
+
+#: Accepted ``backend=`` / ``--backend`` values.
+BACKENDS = ("auto",) + TIERS
+
+
+def compiled_available() -> bool:
+    """True when the numba JIT dependency imports here."""
+    from repro.fastpath.compiled import COMPILED_AVAILABLE
+
+    return COMPILED_AVAILABLE
+
+
+def compiled_unavailable_reason() -> str:
+    """Why the compiled tier cannot run ('' when it can)."""
+    from repro.fastpath.compiled import COMPILED_UNAVAILABLE_REASON
+
+    return COMPILED_UNAVAILABLE_REASON
+
+
+def available_tiers() -> tuple[str, ...]:
+    """The tiers that can actually run in this environment."""
+    return TIERS if compiled_available() else TIERS[:-1]
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate a ``backend=`` choice and resolve ``auto`` to a tier.
+
+    Raises ``ValueError`` for an unknown name and
+    :class:`~repro.errors.BackendUnavailableError` when ``compiled`` is
+    requested but cannot run here.  ``None`` means ``auto``.
+    """
+    if backend is None:
+        backend = "auto"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; options: {', '.join(BACKENDS)}"
+        )
+    if backend == "auto":
+        return "compiled" if compiled_available() else "batch"
+    if backend == "compiled" and not compiled_available():
+        raise BackendUnavailableError(
+            f"backend 'compiled' is unavailable: {compiled_unavailable_reason()} "
+            f"(available tiers: {', '.join(available_tiers())})"
+        )
+    return backend

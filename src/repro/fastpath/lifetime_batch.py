@@ -80,7 +80,8 @@ def _greedy_bottoms(params, rows: np.ndarray) -> np.ndarray | None:
 
 
 def run_bn_lifetime_batch(
-    adapter, spec, seeds: Sequence[int], max_batch_bytes: int | None = None
+    adapter, spec, seeds: Sequence[int], max_batch_bytes: int | None = None,
+    tier: str = "batch",
 ) -> list[LifetimeOutcome]:
     """Batched equivalent of ``[adapter.lifetime_trial(spec, s) for s in seeds]``.
 
@@ -99,11 +100,13 @@ def run_bn_lifetime_batch(
     per_trial = 16 * limit + params.m + 8 * params.num_bands
     outcomes: list[LifetimeOutcome] = []
     for sub in iter_seed_slices(seeds, per_trial, max_batch_bytes):
-        outcomes.extend(_run_lifetime_slice(adapter, spec, sub))
+        outcomes.extend(_run_lifetime_slice(adapter, spec, sub, tier=tier))
     return outcomes
 
 
-def _run_lifetime_slice(adapter, spec, seeds: Sequence[int]) -> list[LifetimeOutcome]:
+def _run_lifetime_slice(
+    adapter, spec, seeds: Sequence[int], tier: str = "batch"
+) -> list[LifetimeOutcome]:
     """One resident slice of the lockstep kernel (the pre-streaming body)."""
     torus = adapter.torus
     params = adapter.params
@@ -136,7 +139,12 @@ def _run_lifetime_slice(adapter, spec, seeds: Sequence[int]) -> list[LifetimeOut
         if not active.any():
             break
         r = rows[:, k]
-        covered = ((r[:, None] - bottoms) % m < b).any(axis=1)
+        if tier == "compiled":
+            from repro.fastpath.compiled import lifetime_step_core
+
+            covered = lifetime_step_core(r, bottoms, m, b)
+        else:
+            covered = ((r[:, None] - bottoms) % m < b).any(axis=1)
         act_idx = np.flatnonzero(active)
         fault_rows[act_idx, r[act_idx]] = True
         masked_ct[active & covered] += 1

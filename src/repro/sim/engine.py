@@ -63,7 +63,25 @@ from repro.sim.routing import (
     route_is_healthy,
 )
 
-__all__ = ["SimResult", "byzantine_counts", "simulate"]
+__all__ = [
+    "MSG_DELIVERED",
+    "MSG_DROPPED",
+    "MSG_TIMED_OUT",
+    "MSG_UNDELIVERABLE",
+    "SimResult",
+    "byzantine_counts",
+    "classify_messages",
+    "simulate",
+]
+
+#: Per-message outcome codes carried by :attr:`SimResult.message_status`.
+#: The ``-1`` sentinel in ``message_latencies`` is shared by three distinct
+#: fates (timed out, undeliverable, byzantine-dropped); the status array is
+#: the disambiguation downstream stats must use instead of the sentinel.
+MSG_DELIVERED = 0
+MSG_TIMED_OUT = 1
+MSG_UNDELIVERABLE = 2
+MSG_DROPPED = 3
 
 
 @dataclass
@@ -103,6 +121,13 @@ class SimResult:
     dropped: int = 0
     corrupted: int = 0
     misrouted: int = 0
+    #: Per-message outcome code (``MSG_*``) in message-id order, aligned
+    #: with ``message_latencies``.  This is what disambiguates the shared
+    #: ``-1`` latency sentinel: a negative latency can mean timed out,
+    #: undeliverable *or* byzantine-dropped, and only this array says
+    #: which.  Empty on hand-built results predating the field; stats
+    #: helpers fall back to the sentinel-only view then.
+    message_status: np.ndarray = field(default_factory=lambda: np.empty(0, np.int8))
 
     @property
     def throughput(self) -> float:
@@ -157,6 +182,26 @@ def byzantine_counts(actions, done, latencies):
         int(((actions == BYZ_CORRUPT) & done).sum()),
         int(((actions == BYZ_MISROUTE) & done).sum()),
     )
+
+
+def classify_messages(done, routable, latencies) -> np.ndarray:
+    """Per-message ``MSG_*`` status from the engines' terminal state.
+
+    Shared by the scalar engine and the vectorized kernel so the
+    classification cannot drift.  The four codes partition the messages:
+    ``done`` with a non-negative latency is delivered; ``done`` with the
+    ``-1`` sentinel is a byzantine drop (the only way a completed message
+    keeps the sentinel); not routable means the router refused it at the
+    door; everything else ran out of horizon (timed out).
+    """
+    done = np.asarray(done, dtype=bool)
+    routable = np.asarray(routable, dtype=bool)
+    latencies = np.asarray(latencies)
+    status = np.full(len(done), MSG_TIMED_OUT, dtype=np.int8)
+    status[~routable] = MSG_UNDELIVERABLE
+    status[done & (latencies >= 0)] = MSG_DELIVERED
+    status[done & (latencies < 0)] = MSG_DROPPED
+    return status
 
 
 def _check_classes(classes, m, credits):
@@ -288,6 +333,7 @@ def simulate(
     # them out so downstream stats can never average a sentinel, and count
     # them explicitly.
     lat = latencies[done & (latencies >= 0)]
+    routable = np.array([r is not None for r in routes], dtype=bool)
     return SimResult(
         delivered=int(done.sum()) - dropped,
         total=len(routes),
@@ -300,4 +346,5 @@ def simulate(
         dropped=dropped,
         corrupted=corrupted,
         misrouted=misrouted,
+        message_status=classify_messages(done, routable, latencies),
     )

@@ -11,6 +11,8 @@ total`` — with corrupted/misrouted messages still counted in
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.fastpath.traffic_batch import simulate_batch
 from repro.faults.models import ByzantineNodeFaults
@@ -208,3 +210,65 @@ class TestByzantineModel:
             ByzantineNodeFaults(rate=0.1, drop=-1.0)
         with pytest.raises(ValueError):
             ByzantineNodeFaults(rate=0.1, misroute=0.0, drop=0.0, corrupt=0.0)
+
+
+class TestPerClassByzantineConservation:
+    """Per-class rows under drop-heavy Byzantine mixes: drops land in the
+    ``dropped`` bucket (never misclassified as ``timed_out`` despite the
+    shared ``-1`` latency sentinel), conservation holds per row, and the
+    rows are field-identical scalar vs batch."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        rate=st.sampled_from((0.1, 0.25)),
+        drop=st.sampled_from((2.0, 5.0)),
+        qos=st.sampled_from((2, 3)),
+    )
+    def test_rows_conserve_and_match_across_engines(self, seed, rate, drop, qos):
+        import json
+
+        from repro.api.traffic import message_classes
+        from repro.sim.metrics import per_class_stats
+
+        model = ByzantineNodeFaults(rate=rate, misroute=0.5, drop=drop,
+                                    corrupt=0.5)
+        mask = model.sample(SHAPE, spawn_rng(seed, "byz-cons-mask"))
+        size = int(np.prod(SHAPE))
+        traffic = spawn_rng(seed, "byz-cons-traffic").integers(
+            0, size, size=(50, 2))
+        classes = message_classes(len(traffic), qos)
+
+        def plan():
+            return ByzantinePlan(mask, model.mix(),
+                                 spawn_rng(seed, "byz-cons-plan"))
+
+        scalar = simulate(SHAPE, traffic, byzantine=plan(), classes=classes)
+        batch = simulate_batch(SHAPE, traffic, byzantine=plan(),
+                               classes=classes)
+        rows_s = per_class_stats(scalar, classes)
+        rows_b = per_class_stats(batch, classes)
+        assert json.dumps(rows_s, sort_keys=True) == json.dumps(
+            rows_b, sort_keys=True)
+        for row in rows_s:
+            assert row["offered"] == (
+                row["delivered"] + row["timed_out"]
+                + row.get("undeliverable", 0) + row.get("dropped", 0)
+            ), row
+        assert sum(r.get("dropped", 0) for r in rows_s) == scalar.dropped
+        assert sum(r["timed_out"] for r in rows_s) == scalar.timed_out
+
+    def test_certain_drop_is_dropped_not_timed_out(self):
+        from repro.sim.metrics import per_class_stats
+
+        # A drop-only all-traitor machine: every multi-hop message is
+        # dropped at its first intermediate hop; none may count as a
+        # timeout even though both outcomes share the -1 sentinel.
+        plan = plan_with((0, 1, 0), range(36), seed=3)
+        traffic = np.array([[0, 3], [6, 9], [12, 15]])
+        classes = np.array([0, 0, 1])
+        res = simulate(SHAPE, traffic, byzantine=plan, classes=classes)
+        assert res.dropped == 3 and res.timed_out == 0
+        rows = per_class_stats(res, classes)
+        assert rows[0]["dropped"] == 2 and rows[0]["timed_out"] == 0
+        assert rows[1]["dropped"] == 1 and rows[1]["delivered"] == 0

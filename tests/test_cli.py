@@ -250,3 +250,57 @@ class TestFaultModelFlag:
         assert main(["run", "--construction", "bn", "--fault-model",
                      "neighbor:zeta=1", "--trials", "2"]) == 2
         assert "neighbor" in capsys.readouterr().err
+
+
+class TestBackendFlag:
+    """--backend {auto,scalar,batch,compiled} on run/lifetime/traffic
+    (docs/fastpath.md kernel tiers).  Tier choice must never reach the
+    results; an unavailable tier must fail fast with a clean exit 2."""
+
+    def run_json(self, tmp_path, cmd, backend):
+        out_path = tmp_path / f"{backend or 'default'}.json"
+        argv = [*cmd, "--out", str(out_path)]
+        if backend is not None:
+            argv += ["--backend", backend]
+        assert main(argv) == 0, argv
+        return out_path.read_bytes()
+
+    def test_run_tiers_byte_identical(self, capsys, tmp_path):
+        cmd = ["run", "--construction", "bn", "--p", "0.001,0.02",
+               "--trials", "4"]
+        ref = self.run_json(tmp_path, cmd, None)
+        for backend in ("auto", "scalar", "batch"):
+            assert self.run_json(tmp_path, cmd, backend) == ref, backend
+            capsys.readouterr()
+
+    def test_lifetime_and_traffic_tiers_byte_identical(self, capsys, tmp_path):
+        for cmd in (
+            ["lifetime", "--b", "3", "--trials", "2"],
+            ["traffic", "--b", "3", "--pattern", "uniform", "--messages", "24",
+             "--router", "adaptive", "--qos-classes", "2", "--credits", "4",
+             "--trials", "2"],
+        ):
+            scalar = self.run_json(tmp_path, cmd, "scalar")
+            assert self.run_json(tmp_path, cmd, "batch") == scalar, cmd
+            capsys.readouterr()
+
+    def test_unavailable_compiled_tier_is_clean_error(self, capsys):
+        from repro.fastpath.dispatch import compiled_available
+
+        if compiled_available():
+            pytest.skip("numba present: compiled tier is available here")
+        for cmd in (
+            ["run", "--construction", "bn", "--p", "0.001", "--trials", "2"],
+            ["lifetime", "--b", "3", "--trials", "1"],
+            ["traffic", "--b", "3", "--pattern", "uniform", "--messages", "8",
+             "--trials", "1"],
+        ):
+            assert main([*cmd, "--backend", "compiled"]) == 2, cmd
+            err = capsys.readouterr().err
+            assert "backend 'compiled' is unavailable" in err
+            assert "numba" in err and "available tiers" in err
+
+    def test_backend_and_legacy_batch_flags_conflict(self, capsys):
+        assert main(["run", "--construction", "bn", "--p", "0.001",
+                     "--trials", "2", "--backend", "batch", "--no-batch"]) == 2
+        assert "not both" in capsys.readouterr().err

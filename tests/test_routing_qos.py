@@ -24,6 +24,8 @@ Four layers:
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -357,3 +359,70 @@ class TestSpecPlumbing:
             spec = TrafficSpec(pattern=pattern, messages=8, qos_classes=2, credits=3)
             out = run_traffic_trial(shape, spec, seed)
             assert out.offered == 8
+
+
+# ---------------------------------------------------------------------------
+# Per-class conservation under route-breaking fault masks
+# ---------------------------------------------------------------------------
+
+
+class TestPerClassConservation:
+    """Every per-class row obeys ``offered == delivered + timed_out +
+    undeliverable + dropped`` with each loss bucket attributed by the
+    engine's own classification (never inferred from the ``-1`` latency
+    sentinel), and the rows are field-identical scalar vs batch."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shape=shapes(),
+        seed=st.integers(0, 300),
+        density=st.sampled_from((0.15, 0.3)),
+        qos=st.sampled_from((2, 3)),
+        credits=st.sampled_from((0, 3)),
+        max_cycles=st.sampled_from((5, 10_000)),
+    )
+    def test_conservation_and_backend_identity_under_adaptive(
+        self, shape, seed, density, qos, credits, max_cycles
+    ):
+        faults = _random_faults(shape, seed, density)
+        node_ok, edge_ok = fault_predicates(faults)
+        traffic = make_traffic(shape, "uniform", 30, spawn_rng(seed, "cons"))
+        classes = message_classes(len(traffic), qos)
+        kwargs = dict(
+            router="adaptive", node_ok=node_ok, edge_ok=edge_ok,
+            classes=classes, credits=credits, max_cycles=max_cycles,
+        )
+        a = simulate(shape, traffic, **kwargs)
+        b = simulate_batch(shape, traffic, **kwargs)
+        rows_a = per_class_stats(a, classes)
+        rows_b = per_class_stats(b, classes)
+        # Canonical-JSON equality: field-identical rows, NaN-tolerant for
+        # classes that delivered nothing (NaN != NaN under dict equality).
+        assert json.dumps(rows_a, sort_keys=True) == json.dumps(rows_b, sort_keys=True)
+        for row in rows_a:
+            assert row["offered"] == (
+                row["delivered"] + row["timed_out"]
+                + row.get("undeliverable", 0) + row.get("dropped", 0)
+            ), row
+        # The rows tile the aggregate counters exactly.
+        assert sum(r["timed_out"] for r in rows_a) == a.timed_out
+        assert sum(r.get("undeliverable", 0) for r in rows_a) == a.undeliverable
+        assert sum(r.get("dropped", 0) for r in rows_a) == a.dropped
+
+    def test_undeliverable_never_counted_as_timed_out(self):
+        # Isolate node 5 on a (4, 4) torus: messages touching it are
+        # undeliverable, and must not leak into the timeout bucket even
+        # though both carry the -1 latency sentinel.
+        shape = (4, 4)
+        faults = np.zeros(16, dtype=bool)
+        faults[5] = True
+        node_ok, edge_ok = fault_predicates(faults)
+        traffic = np.array([[5, 9], [0, 5], [1, 2], [2, 1]])
+        classes = np.array([0, 0, 1, 1])
+        r = simulate(shape, traffic, router="adaptive",
+                     node_ok=node_ok, edge_ok=edge_ok, classes=classes)
+        rows = per_class_stats(r, classes)
+        assert rows[0]["undeliverable"] == 2 and rows[0]["timed_out"] == 0
+        assert rows[0]["delivered"] == 0
+        assert rows[1]["delivered"] == 2
+        assert "undeliverable" not in rows[1] and "dropped" not in rows[1]
